@@ -1,0 +1,81 @@
+"""Ablation: overlap offset and block-choice policy (DESIGN.md choices 3-4).
+
+* Offset fraction: the paper offsets the second copy by half a block
+  (k/2 for trees, side/2 for grids). Sweeping the number of copies
+  shows half-offset double coverage is the sweet spot: more copies
+  buy little against the corridor walk but cost blow-up linearly.
+* Policy: the proofs' coverage-aware choice (FarthestFaultPolicy) vs
+  the per-block interior heuristic vs arbitrary choice.
+"""
+
+import pytest
+
+from repro import FirstBlockPolicy, ModelParams, Searcher
+from repro.adversaries import GreedyUncoveredAdversary, GridCorridorAdversary
+from repro.blockings import (
+    FarthestFaultPolicy,
+    MostInteriorPolicy,
+    offset_grid_blocking,
+)
+from repro.graphs import InfiniteGridGraph
+
+B = 64
+STEPS = 6_000
+
+
+@pytest.mark.parametrize("copies", [1, 2, 4])
+def test_offset_copies_sweep(benchmark, copies):
+    """sigma under the corridor adversary as redundancy grows."""
+    graph = InfiniteGridGraph(2)
+
+    def run():
+        blocking = offset_grid_blocking(2, B, copies=copies)
+        policy = (
+            FirstBlockPolicy() if copies == 1 else FarthestFaultPolicy(graph)
+        )
+        searcher = Searcher(
+            graph,
+            blocking,
+            policy,
+            ModelParams(B, 2 * B),
+            validate_moves=False,
+        )
+        return searcher.run_adversary(GridCorridorAdversary(2, B, 2 * B), STEPS)
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["sigma"] = round(trace.speedup, 2)
+    benchmark.extra_info["s"] = copies
+    assert trace.speedup >= 1.0
+
+
+@pytest.mark.parametrize(
+    "policy_name", ["first", "interior", "farthest"]
+)
+def test_policy_ablation(benchmark, policy_name):
+    """Against the greedy adversary the choice rule is the whole game:
+    the coverage-aware rule preserves the sqrt(B)/4 per-fault floor,
+    the naive rules give it up at tile corners."""
+    graph = InfiniteGridGraph(2)
+    policies = {
+        "first": FirstBlockPolicy(),
+        "interior": MostInteriorPolicy(),
+        "farthest": FarthestFaultPolicy(graph),
+    }
+
+    def run():
+        searcher = Searcher(
+            graph,
+            offset_grid_blocking(2, B),
+            policies[policy_name],
+            ModelParams(B, 2 * B),
+            validate_moves=False,
+        )
+        return searcher.run_adversary(
+            GreedyUncoveredAdversary(graph, (0, 0), max_radius=40), STEPS
+        )
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["sigma"] = round(trace.speedup, 2)
+    benchmark.extra_info["min_gap"] = trace.min_gap
+    if policy_name == "farthest":
+        assert trace.min_gap >= 2  # sqrt(B)/4 floor intact

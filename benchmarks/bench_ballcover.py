@@ -1,0 +1,63 @@
+"""BC: the Section 4.2 BALL COVER table, plus a construction ablation.
+
+Verifies the cardinality guarantees (Lemmas 14-15, Theorem 3,
+Corollary 2, Theorem 5) and compares the constructions' cover sizes
+against the greedy set-cover baseline — the design choice behind the
+Theorem 4 vs Theorem 6 blow-up trade-off.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_checks
+from repro.analysis import (
+    ball_cover_corollary2,
+    ball_cover_greedy,
+    ball_cover_packing,
+    is_ball_cover,
+    min_ball_volume,
+)
+from repro.experiments import ballcover_checks
+from repro.graphs import random_regular_graph, torus_graph
+
+
+def test_ballcover_guarantees(benchmark):
+    run_checks(benchmark, ballcover_checks)
+
+
+@pytest.mark.parametrize("radius", [3, 6, 9])
+def test_construction_ablation(benchmark, radius):
+    """Corollary 2 vs Theorem 5 vs greedy on a torus: all valid covers;
+    greedy is smallest, the guaranteed constructions within ~4x of it."""
+    graph = torus_graph((12, 12))
+
+    def build():
+        return {
+            "corollary2": ball_cover_corollary2(graph, radius),
+            "packing": ball_cover_packing(graph, radius),
+            "greedy": ball_cover_greedy(graph, radius),
+        }
+
+    covers = benchmark.pedantic(build, rounds=1, iterations=1)
+    for name, cover in covers.items():
+        assert is_ball_cover(graph, cover, radius), name
+    sizes = {name: len(c) for name, c in covers.items()}
+    # Greedy (no guarantee) is the practical floor; the guaranteed
+    # constructions respect their own cardinality bounds.
+    assert sizes["greedy"] <= min(sizes["corollary2"], sizes["packing"])
+    n = len(graph)
+    assert sizes["corollary2"] <= n / (2 * (radius // 3) + 1)
+    assert sizes["packing"] <= n / min_ball_volume(graph, radius // 2)
+    benchmark.extra_info["cover_sizes"] = sizes
+
+
+def test_covers_on_expander(benchmark):
+    """On an expander (random regular graph) small radii already cover
+    with few centers — ball volumes grow exponentially."""
+    graph = random_regular_graph(256, 4, seed=21)
+
+    def build():
+        return ball_cover_packing(graph, 4)
+
+    cover = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert is_ball_cover(graph, cover, 4)
+    assert len(cover) <= len(graph) // 8

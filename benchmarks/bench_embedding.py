@@ -1,0 +1,133 @@
+"""INTRO-EMB: the embedding heuristic, measured (Section 1's Rosenberg
+discussion).
+
+Three findings from the intro made quantitative:
+
+1. No linearization of a 2-D grid preserves proximity (Rosenberg):
+   every order's worst edge stretch grows with the side length.
+2. Stretch does not predict blocking quality: Hilbert has worse *max*
+   stretch than row-major yet far better benign-scan behaviour.
+3. The chunking heuristic fails against an adversary: all chunked
+   linearizations lose to the paper's sheared tessellation, and the
+   Hilbert chunks (4-way seams vs 3-block memory) collapse to sigma~1.
+"""
+
+import pytest
+
+from repro import FirstBlockPolicy, ModelParams, Searcher, simulate_adversary
+from repro.adversaries import GreedyUncoveredAdversary
+from repro.analysis import (
+    hilbert_linearization,
+    linearization_blocking,
+    proximity_blowup,
+    row_major_linearization,
+    stretch_profile,
+    tile_major_linearization,
+)
+from repro.blockings import sheared_grid_blocking
+from repro.graphs import GridGraph
+from repro.workloads import boustrophedon_scan, hilbert_scan
+
+SIDE = 32
+B, M = 64, 192
+
+
+def test_rosenberg_stretch_grows_with_side(benchmark):
+    """Worst stretch of every order grows linearly-ish in the side."""
+
+    def measure():
+        out = {}
+        for side, order in ((8, 3), (16, 4), (32, 5)):
+            grid = GridGraph((side, side))
+            out[side] = {
+                "row": proximity_blowup(grid, row_major_linearization((side, side))),
+                "hilbert": proximity_blowup(grid, hilbert_linearization(order)),
+            }
+        return out
+
+    stretches = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for name in ("row", "hilbert"):
+        assert stretches[8][name] < stretches[16][name] < stretches[32][name]
+        assert stretches[32][name] >= 32
+    benchmark.extra_info["stretch"] = stretches
+
+
+def test_stretch_does_not_predict_blocking(benchmark):
+    """Hilbert: the worst max-stretch of the orders tested, yet the
+    fewest faults on an isotropic workload (a random walk) — and
+    conversely row-major is optimal for its matched snake scan. A
+    single stretch number predicts neither."""
+    from repro.adversaries import RandomWalkAdversary
+
+    grid = GridGraph((SIDE, SIDE))
+
+    def measure():
+        orders = {
+            "row": row_major_linearization((SIDE, SIDE)),
+            "hilbert": hilbert_linearization(5),
+        }
+        stretch = {k: v[0] for k, v in stretch_profile(grid, orders).items()}
+        walk_faults = {}
+        scan_faults = {}
+        for name, order in orders.items():
+            blocking = linearization_blocking(order, B, universe_size=SIDE * SIDE)
+            searcher = Searcher(
+                grid, blocking, FirstBlockPolicy(), ModelParams(B, M),
+                validate_moves=False,
+            )
+            walk_faults[name] = searcher.run_adversary(
+                RandomWalkAdversary(grid, (SIDE // 2, SIDE // 2), seed=6), 6_000
+            ).faults
+            scan_faults[name] = searcher.run_path(
+                boustrophedon_scan((SIDE, SIDE))
+            ).faults
+        return stretch, walk_faults, scan_faults
+
+    stretch, walk_faults, scan_faults = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert stretch["hilbert"] > stretch["row"]       # worse by Rosenberg's measure
+    assert walk_faults["hilbert"] < walk_faults["row"]  # better isotropically
+    assert scan_faults["row"] < scan_faults["hilbert"]  # matched scan flips it
+    benchmark.extra_info["stretch"] = stretch
+    benchmark.extra_info["random_walk_faults"] = walk_faults
+    benchmark.extra_info["snake_scan_faults"] = scan_faults
+
+
+@pytest.mark.parametrize(
+    "layout", ["row", "hilbert", "tile-chunks", "brick"]
+)
+def test_adversarial_chunking_collapse(benchmark, layout):
+    """Finding 3: hostile sigma per layout; brick wins, Hilbert chunks
+    collapse."""
+    grid = GridGraph((SIDE, SIDE))
+    blockings = {
+        "row": lambda: linearization_blocking(
+            row_major_linearization((SIDE, SIDE)), B, universe_size=SIDE * SIDE
+        ),
+        "hilbert": lambda: linearization_blocking(
+            hilbert_linearization(5), B, universe_size=SIDE * SIDE
+        ),
+        "tile-chunks": lambda: linearization_blocking(
+            tile_major_linearization((SIDE, SIDE), 8), B, universe_size=SIDE * SIDE
+        ),
+        "brick": lambda: sheared_grid_blocking(2, B),
+    }
+
+    def run():
+        return simulate_adversary(
+            grid,
+            blockings[layout](),
+            FirstBlockPolicy(),
+            ModelParams(B, M),
+            GreedyUncoveredAdversary(grid, (0, 0)),
+            3_000,
+            validate_moves=False,
+        )
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["sigma"] = round(trace.speedup, 3)
+    if layout == "brick":
+        assert trace.speedup > 2.5
+    if layout == "hilbert":
+        assert trace.speedup < 1.5

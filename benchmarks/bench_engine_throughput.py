@@ -1,0 +1,60 @@
+"""Engine micro-benchmarks: simulation throughput.
+
+Not a paper artifact — these track the simulator's own speed so
+regressions in the hot path (coverage checks, fault servicing, LRU
+bookkeeping) are visible. Timed over multiple rounds, unlike the
+one-shot Table 1 games.
+"""
+
+from repro import FirstBlockPolicy, ModelParams, Searcher
+from repro.adversaries import RandomWalkAdversary
+from repro.blockings import (
+    FarthestFaultPolicy,
+    offset_grid_blocking,
+    uniform_grid_blocking,
+)
+from repro.graphs import InfiniteGridGraph
+
+
+def test_throughput_s1_random_walk(benchmark):
+    graph = InfiniteGridGraph(2)
+    searcher = Searcher(
+        graph,
+        uniform_grid_blocking(2, 64),
+        FirstBlockPolicy(),
+        ModelParams(64, 256),
+        validate_moves=False,
+    )
+    adversary = RandomWalkAdversary(graph, (0, 0), seed=1)
+    trace = benchmark(searcher.run_adversary, adversary, 5_000)
+    assert trace.steps == 5_000
+
+
+def test_throughput_s2_farthest_policy(benchmark):
+    """The expensive configuration: coverage-aware policy BFS per fault."""
+    graph = InfiniteGridGraph(2)
+    searcher = Searcher(
+        graph,
+        offset_grid_blocking(2, 64),
+        FarthestFaultPolicy(graph),
+        ModelParams(64, 256),
+        validate_moves=False,
+    )
+    adversary = RandomWalkAdversary(graph, (0, 0), seed=1)
+    trace = benchmark(searcher.run_adversary, adversary, 5_000)
+    assert trace.steps == 5_000
+
+
+def test_throughput_move_validation_cost(benchmark):
+    """Validation on: measures the overhead of checking each edge."""
+    graph = InfiniteGridGraph(2)
+    searcher = Searcher(
+        graph,
+        uniform_grid_blocking(2, 64),
+        FirstBlockPolicy(),
+        ModelParams(64, 256),
+        validate_moves=True,
+    )
+    adversary = RandomWalkAdversary(graph, (0, 0), seed=1)
+    trace = benchmark(searcher.run_adversary, adversary, 5_000)
+    assert trace.steps == 5_000

@@ -1,0 +1,47 @@
+"""EX1 / EX2: the paper's closed-form radius examples.
+
+Example 1: k-radii of complete d-ary trees (root / internal / leaf
+formulas). Example 2: grid ball volumes ``k_d(r)`` (exact recurrence)
+and the radius asymptotics ``r_d(k) ~ (1/2e) d k^(1/d)``.
+"""
+
+from benchmarks.conftest import run_checks
+from repro.analysis.theory import (
+    grid_radius_asymptotic,
+    grid_radius_exact,
+    grid_radius_stirling,
+)
+from repro.experiments import example1_checks, example2_checks
+
+
+def test_example1_tree_radii(benchmark):
+    run_checks(benchmark, example1_checks, ks=(7, 15, 31, 63, 127, 255))
+
+
+def test_example2_grid_radii(benchmark):
+    run_checks(benchmark, example2_checks, dims=(1, 2, 3, 4))
+
+
+def test_example2_asymptotic_convergence(benchmark):
+    """The Stirling form converges to the exact radius as k grows —
+    the (2 pi d)^(1/2d) refinement of equation (1)."""
+
+    def ratios():
+        out = {}
+        for d in (2, 3):
+            out[d] = [
+                grid_radius_exact(d, k) / grid_radius_stirling(d, k)
+                for k in (10 ** 3, 10 ** 5, 10 ** 7)
+            ]
+        return out
+
+    result = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    for d, series in result.items():
+        # Converging toward 1 from either side, within 15% at k = 1e7.
+        assert abs(series[-1] - 1.0) < 0.15
+        assert abs(series[-1] - 1.0) <= abs(series[0] - 1.0) + 0.02
+    benchmark.extra_info["exact_over_stirling"] = {
+        d: [round(x, 4) for x in series] for d, series in result.items()
+    }
+    # The simplified form underestimates by the dropped factor.
+    assert grid_radius_asymptotic(2, 10 ** 6) < grid_radius_exact(2, 10 ** 6)

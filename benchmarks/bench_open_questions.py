@@ -1,0 +1,113 @@
+"""Empirical probes at the paper's open questions (Conclusions 1-8).
+
+No theorems are claimed here; these benches measure what the open
+questions ask about, so the reproduction records data where the paper
+records questions:
+
+* Q5 (directed graphs): the searching game on a synthetic hypertext
+  with out-neighborhood blocks, vs the same data undirected.
+* Q7 (memory/speed-up trade-off): sigma as M/B grows.
+* Q8 (competitive analysis): LRU vs Belady MIN competitive ratios per
+  workload shape.
+"""
+
+import pytest
+
+from repro import ExplicitBlocking, FirstBlockPolicy, ModelParams, simulate_path
+from repro.adversaries import GreedyUncoveredAdversary
+from repro.blockings import NearestCenterPolicy, compact_neighborhood_blocking
+from repro.core.engine import simulate_adversary
+from repro.experiments import memory_tradeoff_sweep
+from repro.graphs import cycle_graph, random_hyperlink_graph
+from repro.paging import belady_trace, competitive_ratio
+from repro.workloads import pingpong_walk
+
+
+def test_q5_directed_vs_undirected(benchmark):
+    """Directed hypertext: out-neighborhood blocks still help, but the
+    one-way arcs weaken them relative to the undirected view of the
+    same data (the adversary can enter regions the blocks don't cover
+    backwards)."""
+    B = 8
+
+    def run():
+        directed = random_hyperlink_graph(300, 3, seed=17)
+        undirected = directed.as_undirected()
+        out = {}
+        for name, graph in (("directed", directed), ("undirected", undirected)):
+            blocking = compact_neighborhood_blocking(graph, B)
+            policy = NearestCenterPolicy({v: v for v in graph.vertices()})
+            trace = simulate_adversary(
+                graph,
+                blocking,
+                policy,
+                ModelParams(B, 2 * B),
+                GreedyUncoveredAdversary(graph, 0),
+                3_000,
+            )
+            out[name] = trace.speedup
+        return out
+
+    sigmas = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sigmas["directed"] > 1.0
+    benchmark.extra_info["sigma"] = {k: round(v, 2) for k, v in sigmas.items()}
+
+
+def test_q7_memory_tradeoff(benchmark):
+    """More memory never hurts; the sweep records how much it helps
+    beyond the M = 2B the constructions need."""
+    series = benchmark.pedantic(
+        lambda: memory_tradeoff_sweep(ratios=(1, 2, 4, 8), num_steps=4_000),
+        rounds=1,
+        iterations=1,
+    )
+    assert series.sigmas[-1] >= series.sigmas[0] * 0.9
+    benchmark.extra_info["sigma_by_ratio"] = dict(
+        zip(series.values, [round(s, 2) for s in series.sigmas])
+    )
+
+
+@pytest.mark.parametrize("laps", [2, 6])
+def test_q8_competitive_ratio_cyclic(benchmark, laps):
+    """Cyclic scans are LRU's worst case: the measured ratio approaches
+    the classical k = M/B competitiveness bound as laps grow."""
+    n, B, M = 36, 4, 12
+    graph = cycle_graph(n)
+    blocking = ExplicitBlocking(
+        B, {i: set(range(B * i, B * (i + 1))) for i in range(n // B)}
+    )
+    path = [i % n for i in range(laps * n + 1)]
+
+    def run():
+        online = simulate_path(
+            graph, blocking, FirstBlockPolicy(), ModelParams(B, M), path
+        )
+        offline = belady_trace(path, blocking, ModelParams(B, M))
+        return competitive_ratio(online, offline)
+
+    ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 1.0 <= ratio <= M / B + 1e-9
+    benchmark.extra_info["ratio"] = round(ratio, 3)
+
+
+def test_q8_competitive_ratio_pingpong(benchmark):
+    """Ping-pong workloads are LRU-friendly: ratio stays near 1."""
+    n, B, M = 20, 5, 10
+    from repro.graphs import path_graph
+
+    graph = path_graph(n)
+    blocking = ExplicitBlocking(
+        B, {i: set(range(B * i, B * (i + 1))) for i in range(n // B)}
+    )
+    path = pingpong_walk(list(range(n)), 6)
+
+    def run():
+        online = simulate_path(
+            graph, blocking, FirstBlockPolicy(), ModelParams(B, M), path
+        )
+        offline = belady_trace(path, blocking, ModelParams(B, M))
+        return competitive_ratio(online, offline)
+
+    ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ratio <= 2.0
+    benchmark.extra_info["ratio"] = round(ratio, 3)

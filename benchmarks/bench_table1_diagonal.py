@@ -1,0 +1,27 @@
+"""T1-R9: d-dimensional diagonal grid graphs (Lemmas 25, 26).
+
+The offset s=2 blocking holds ``sigma >= B^(1/d)/4`` while the diagonal
+corridor adversary caps it at ``2 B^(1/d)`` — tighter than the ordinary
+grid's ``d B^(1/d)`` because king moves fix all cross coordinates at
+once.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_rows
+from repro.analysis.theory import diagonal_upper, grid_upper
+from repro.experiments import diagonal_row
+
+
+@pytest.mark.parametrize("dim,block_size", [(2, 64), (3, 216)])
+def test_diagonal_row(benchmark, dim, block_size):
+    results = run_rows(
+        benchmark, diagonal_row, dim=dim, block_size=block_size, num_steps=8_000
+    )
+    (row,) = results
+    # The diagonal cap 2 B^(1/d) is tighter than the grid cap d B^(1/d)
+    # (equal at d = 2, strictly tighter beyond).
+    assert diagonal_upper(block_size, dim) <= grid_upper(block_size, dim)
+    if dim > 2:
+        assert diagonal_upper(block_size, dim) < grid_upper(block_size, dim)
+    assert row.sigma <= diagonal_upper(block_size, dim) + 1e-9

@@ -1,0 +1,39 @@
+"""T1-R10 + K-LB + L9: general graphs (Section 4; Table 1 bottom rows).
+
+The Lemma 13 and Theorem 4 blockings on a random regular graph against
+greedy, DFS-circuit (Lemma 9), and Steiner-tour (Lemma 12) adversaries,
+inside the Theorem 2 envelope; plus the Section 2 pathologies
+(``K_{M+1}``: sigma <= 1, the M-star: sigma <= 2) and a non-uniform
+graph where worst-case and benign behaviour split.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.experiments import general_rows, nonuniform_row, pathological_rows
+
+
+def test_general_rows(benchmark):
+    run_rows(benchmark, general_rows, num_steps=8_000)
+
+
+def test_pathological_rows(benchmark):
+    results = run_rows(benchmark, pathological_rows, num_steps=1_500)
+    clique = next(r for r in results if "K_{M+1}" in r.description)
+    star = next(r for r in results if "star" in r.description)
+    assert clique.sigma <= 1.0 + 1e-9
+    assert star.sigma <= 2.0 + 1e-9
+
+
+def test_nonuniform_row(benchmark):
+    results = run_rows(benchmark, nonuniform_row, num_steps=3_000)
+    hostile = next(r for r in results if "greedy" in r.description)
+    benign = next(r for r in results if "random walk" in r.description)
+    # Non-uniform graphs: the adversary pins the clique end while
+    # typical walks do much better — the r^+/r^- gap made visible.
+    assert benign.sigma > hostile.sigma
+
+
+def test_geometric_rows(benchmark):
+    """T1-R10 on the second uniform family: random geometric graphs."""
+    from repro.experiments import geometric_rows
+
+    run_rows(benchmark, geometric_rows, num_steps=6_000)

@@ -1,0 +1,40 @@
+"""T1-R2: one-dimensional grid graphs (Lemmas 18-20).
+
+The tight row of Table 1: the contiguous s=1 blocking achieves exactly
+``sigma = B`` (both bounds coincide), and the s=2 offset blocking
+achieves ``B/2`` with only ``M = B``.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_rows
+from repro.experiments import grid1d_row
+
+
+def test_grid1d_row(benchmark):
+    results = run_rows(benchmark, grid1d_row, num_steps=15_000)
+    s1 = next(r for r in results if r.params["s"] == 1)
+    # Exactly tight: steady sigma == B.
+    assert s1.steady_sigma == pytest.approx(s1.params["B"], rel=0.01)
+
+
+@pytest.mark.parametrize("block_size", [16, 64, 256])
+def test_grid1d_scales_linearly(benchmark, block_size):
+    """sigma grows linearly in B — the only row with a linear law."""
+    results = run_rows(
+        benchmark, grid1d_row, block_size=block_size, num_steps=40 * block_size
+    )
+    s1 = next(r for r in results if r.params["s"] == 1)
+    assert s1.min_gap >= block_size
+
+
+def test_grid1d_finite_lemma19(benchmark):
+    """Lemma 19: on a finite path the measured sigma approaches (but
+    respects) the rho/(rho-1) cap — boundary turnarounds are free steps,
+    so sigma exceeds the infinite-grid value B."""
+    from repro.experiments import grid1d_finite_row
+
+    results = run_rows(benchmark, grid1d_finite_row, num_steps=8_000)
+    (row,) = results
+    assert row.sigma > row.params["B"]  # the finite-graph bonus
+    assert row.sigma <= row.upper_bound + 1e-9

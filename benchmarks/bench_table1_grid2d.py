@@ -1,0 +1,29 @@
+"""T1-R3 / T1-R4: two-dimensional grid graphs (Lemmas 21-23).
+
+Brick s=1 blocking: ``sigma >= sqrt(B)/6``; offset s=2 blocking:
+``sigma >= sqrt(B)/4``; the corridor adversary caps both at
+``2 sqrt(B)``. The sweep confirms the square-root law.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_rows
+from repro.experiments import grid2d_rows
+
+
+def test_grid2d_rows(benchmark):
+    run_rows(benchmark, grid2d_rows, num_steps=15_000)
+
+
+@pytest.mark.parametrize("block_size", [16, 64, 256])
+def test_grid2d_sqrt_law(benchmark, block_size):
+    """sigma scales like sqrt(B): quadrupling B doubles the envelope
+    and the measured value stays inside it."""
+    results = run_rows(
+        benchmark, grid2d_rows, block_size=block_size, num_steps=10_000
+    )
+    for r in results:
+        assert r.sigma <= 2 * math.sqrt(block_size) + 1e-9
+        assert r.sigma >= math.sqrt(block_size) / 6 - 1e-9

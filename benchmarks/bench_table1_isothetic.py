@@ -1,0 +1,46 @@
+"""T1-R7 / T1-R8: isothetic hypercube blockings and the redundancy gap
+(Lemmas 26, 28, 30, 31; the paper's headline result).
+
+* s=2 offset hypercubes: sigma >= B^(1/d)/4;
+* sheared s=1 hypercubes: sigma >= B^(1/d)/(2 d^2);
+* uniform s=1 hypercubes vs the corner-loop adversary: sigma <=
+  (B^(1/d)+d)/(d+1);
+* at d=5 the measured s=2 speed-up strictly dominates the measured
+  s=1 speed-up — redundancy buys more than a constant (Conclusions:
+  the gap opens at d > 4).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_rows
+from repro.analysis.theory import redundancy_gap
+from repro.experiments import isothetic_rows, redundancy_gap_rows
+
+
+@pytest.mark.parametrize("dim,block_size", [(2, 64), (3, 216)])
+def test_isothetic_rows(benchmark, dim, block_size):
+    run_rows(
+        benchmark, isothetic_rows, dim=dim, block_size=block_size, num_steps=8_000
+    )
+
+
+def test_redundancy_gap_d5(benchmark):
+    """The headline experiment: 5-dimensional grid, B = 1024."""
+    results = run_rows(benchmark, redundancy_gap_rows, num_steps=6_000)
+    s2 = next(r for r in results if r.params["s"] == 2)
+    s1 = next(r for r in results if r.params["s"] == 1)
+    assert s2.sigma > 2 * s1.sigma
+    benchmark.extra_info["measured_gap"] = round(s2.sigma / s1.sigma, 2)
+
+
+def test_theoretical_gap_curve(benchmark):
+    """The formula-level crossover: Table 1's s=2 lower / s=1 upper
+    ratio is d/4 — below 1 up to d=4, above 1 beyond."""
+
+    def curve():
+        return {d: redundancy_gap(10 ** (2 * d), d) for d in range(2, 9)}
+
+    gaps = benchmark.pedantic(curve, rounds=1, iterations=1)
+    assert all(gaps[d] < 1 for d in (2, 3))
+    assert all(gaps[d] > 1 for d in (5, 6, 7, 8))
+    benchmark.extra_info["gap_by_dim"] = {d: round(g, 3) for d, g in gaps.items()}

@@ -1,0 +1,53 @@
+"""T1-R1: complete d-ary trees (Table 1 row 1; Lemma 17, Theorem 7).
+
+Regenerates the tree row of Table 1: the s=2 overlapped blocking must
+land in ``[lg B / (2 lg d), Theorem-7 cap]`` under the root-leaf
+adversary, the naive s=1 packing must collapse toward sigma ~ 2, and
+the speed-up must scale like ``lg B`` across block sizes.
+"""
+
+from benchmarks.conftest import run_rows
+from repro.analysis.theory import tree_lower_s2
+from repro.experiments import tree_row
+
+
+def test_tree_row_binary(benchmark):
+    run_rows(benchmark, tree_row, num_steps=12_000)
+
+
+def test_tree_row_quaternary(benchmark):
+    """Same row at arity 4: sigma halves (lg B / lg 4 = lg B / 2 lg 2)."""
+    run_rows(
+        benchmark,
+        tree_row,
+        block_size=1365,  # 1 + 4 + ... + 4^4: five full levels
+        arity=4,
+        height=150,
+        num_steps=12_000,
+    )
+
+
+def test_tree_speedup_scales_with_lg_b(benchmark):
+    """The shape claim: doubling lg B roughly doubles the guaranteed
+    speed-up of the s=2 blocking."""
+
+    def sweep():
+        rows = []
+        for B, h in ((63, 200), (1023, 300)):
+            rows += [
+                r
+                for r in tree_row(block_size=B, height=h, num_steps=6_000)
+                if r.params.get("s") == 2 and "Theorem 7" in r.description
+            ]
+        return rows
+
+    small, large = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert small.holds and large.holds
+    # lg 63 ~ 6, lg 1023 ~ 10: expect sigma to grow accordingly.
+    assert large.sigma > small.sigma
+    assert large.sigma / small.sigma > (10 / 6) * 0.6  # generous slack
+    benchmark.extra_info["sigmas"] = [small.sigma, large.sigma]
+    benchmark.extra_info["lower_bounds"] = [
+        tree_lower_s2(63, 2),
+        tree_lower_s2(1023, 2),
+    ]

@@ -1,0 +1,65 @@
+"""Workload fault profiles on a reference blocking.
+
+Not a paper table — operational data: how each shipped workload
+generator behaves against the standard 2-D s=2 blocking, including the
+fault-gap histogram shape. Useful as a regression net for the workload
+generators and a cheat sheet for picking workloads in new experiments.
+"""
+
+from repro import FirstBlockPolicy, ModelParams, Searcher
+from repro.blockings import FarthestFaultPolicy, offset_grid_blocking
+from repro.graphs import GridGraph
+from repro.workloads import boustrophedon_scan, hilbert_scan, pingpong_walk
+
+SIDE = 32
+B, M = 64, 128
+
+
+def run_workload(walk):
+    grid = GridGraph((SIDE, SIDE))
+    searcher = Searcher(
+        grid,
+        offset_grid_blocking(2, B),
+        FarthestFaultPolicy(grid),
+        ModelParams(B, M),
+        validate_moves=False,
+    )
+    return searcher.run_path(walk)
+
+
+def test_snake_scan_profile(benchmark):
+    trace = benchmark.pedantic(
+        lambda: run_workload(boustrophedon_scan((SIDE, SIDE))),
+        rounds=1,
+        iterations=1,
+    )
+    histogram = trace.gap_histogram()
+    benchmark.extra_info["sigma"] = round(trace.speedup, 2)
+    benchmark.extra_info["gap_histogram"] = histogram
+    # A full scan visits every cell once; with M = 2B each row re-pages
+    # the tiles it crosses, so expect a few faults per row — far below
+    # one per step, far above the Hilbert pass.
+    assert SIDE <= trace.faults <= 4 * SIDE
+
+
+def test_hilbert_scan_profile(benchmark):
+    trace = benchmark.pedantic(
+        lambda: run_workload(hilbert_scan(5)), rounds=1, iterations=1
+    )
+    benchmark.extra_info["sigma"] = round(trace.speedup, 2)
+    # Hilbert locality: dramatically fewer faults than the snake.
+    snake = run_workload(boustrophedon_scan((SIDE, SIDE)))
+    assert trace.faults < snake.faults
+
+
+def test_pingpong_profile(benchmark):
+    segment = [(x, 10) for x in range(6, 14)]
+    trace = benchmark.pedantic(
+        lambda: run_workload(pingpong_walk(segment, 100)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["sigma"] = round(trace.speedup, 2)
+    # The hot segment fits inside one offset tile: after warm-up, no
+    # more faults at all.
+    assert trace.faults <= 3

@@ -1,0 +1,93 @@
+"""Index lookups in a gigantic complete tree (paper Sections 1 and 5).
+
+The paper notes that "all the work done in the database community on
+B-trees could be viewed as a solution to our problem for complete trees
+with s = 1". This example plays a query workload — repeated root-to-
+leaf descents, as in an index — against a complete binary tree of
+height 60 (about 2^61 keys; the tree is implicit, so nothing is ever
+materialized), comparing:
+
+* the naive disjoint-subtree blocking (s = 1) — a textbook B-tree-like
+  packing, which the paper shows an adversary can reduce to sigma ~ 2;
+* Lemma 17's overlapped stratification (s = 2), which guarantees
+  sigma >= lg B / (2 lg d) against *any* access pattern.
+
+Point lookups (cold root-to-leaf walks) behave identically under both;
+the difference appears for *traversal* workloads — range scans that
+wander back up and down, which is precisely where the adversary lives.
+
+Run:  python examples/btree_tree_search.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import FirstBlockPolicy, ModelParams, Searcher
+from repro.adversaries import GreedyUncoveredAdversary
+from repro.analysis.theory import tree_lower_s2, tree_upper
+from repro.blockings import (
+    MostInteriorPolicy,
+    naive_subtree_blocking,
+    overlapped_tree_blocking,
+)
+from repro.graphs import CompleteTree
+
+
+def lookup_workload(tree: CompleteTree, num_queries: int, seed: int) -> list[int]:
+    """Random point lookups: descend root -> random leaf, then back up
+    (the next query starts at the root again)."""
+    rng = random.Random(seed)
+    walk = [tree.root]
+    for _ in range(num_queries):
+        # Random leaf = random child choices all the way down.
+        v = tree.root
+        for _ in range(tree.height):
+            v = rng.choice(tree.children(v))
+            walk.append(v)
+        for u in tree.path_to_root(v)[1:]:
+            walk.append(u)
+    return walk
+
+
+def main() -> None:
+    B = 1023                      # 10 tree levels per block
+    M = 2 * B
+    tree = CompleteTree(2, 60)    # ~2.3e18 keys, implicit
+    print(f"complete binary tree of height {tree.height} "
+          f"({tree.size:.2e} vertices), B={B}, M={M}")
+    print(f"paper's guarantee with s=2: sigma >= {tree_lower_s2(B, 2):.2f}; "
+          f"cap as h -> inf: {tree_upper(B, 2):.2f}\n")
+
+    contenders = [
+        ("naive subtrees, s=1", naive_subtree_blocking(tree, B), FirstBlockPolicy()),
+        ("overlapped, s=2 (Lemma 17)", overlapped_tree_blocking(tree, B),
+         MostInteriorPolicy()),
+    ]
+    params = ModelParams(B, M)
+    lookups = lookup_workload(tree, num_queries=60, seed=11)
+
+    print(f"{'workload':<22} {'blocking':<28} {'faults':>7} {'sigma':>8}")
+    for name, blocking, policy in contenders:
+        searcher = Searcher(tree, blocking, policy, params, validate_moves=False)
+        trace = searcher.run_path(lookups)
+        print(f"{'point lookups':<22} {name:<28} {trace.faults:>7} "
+              f"{trace.speedup:>8.2f}")
+    for name, blocking, policy in contenders:
+        searcher = Searcher(tree, blocking, policy, params, validate_moves=False)
+        trace = searcher.run_adversary(
+            GreedyUncoveredAdversary(tree, tree.root), 6_000
+        )
+        print(f"{'adversarial scan':<22} {name:<28} {trace.faults:>7} "
+              f"{trace.speedup:>8.2f}")
+
+    print(
+        "\nLookups are block-friendly either way. Under the hostile scan "
+        "the naive\npacking collapses to sigma ~ 2 while the overlapped "
+        "blocking holds the\nLemma 17 guarantee — redundancy as insurance "
+        "against access patterns you\ndidn't design for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""A.I. search in a constraint network (paper Section 1).
+
+The paper's first listed application is "A.I. searching in constraint
+networks". A backtracking solver explores a *search tree* of partial
+assignments: each tree vertex is a prefix of decisions, each descent a
+variable assignment, each backtrack a step toward the root. The full
+tree (here: N-queens over column choices, arity N, height N) is far too
+large to page in naively, and the solver's walk — deep dives with
+bursts of backtracking — is exactly the down-and-up traffic Section 5
+analyzes.
+
+The tree is implicit (``CompleteTree`` computes neighbors
+arithmetically), the solver's walk is a legal path on it, and we
+compare the naive subtree packing against Lemma 17's overlapped
+blocking on the real backtracking trace.
+
+Run:  python examples/constraint_search.py
+"""
+
+from __future__ import annotations
+
+from repro import FirstBlockPolicy, ModelParams, Searcher
+from repro.blockings import (
+    MostInteriorPolicy,
+    naive_subtree_blocking,
+    overlapped_tree_blocking,
+)
+from repro.graphs import CompleteTree
+
+
+def queens_walk(n: int) -> list[int]:
+    """The vertex trace of a backtracking N-queens solver on the
+    complete n-ary decision tree of height n.
+
+    Vertex ids follow the heap indexing of :class:`CompleteTree`: the
+    root is the empty assignment; child ``c`` of a vertex places the
+    next queen in column ``c``. The walk records every solver move —
+    descents on consistent placements and climbs on dead ends —
+    stopping at the first solution's full path back to the root.
+    """
+    tree = CompleteTree(n, n)
+    walk = [tree.root]
+    assignment: list[int] = []
+
+    def consistent(col: int) -> bool:
+        row = len(assignment)
+        return all(
+            col != c and abs(col - c) != row - r
+            for r, c in enumerate(assignment)
+        )
+
+    # Iterative backtracking; `frontier[d]` is the next column to try.
+    next_col = [0] * (n + 1)
+    solutions = 0
+    while True:
+        depth = len(assignment)
+        if depth == n:
+            solutions += 1
+            # Backtrack after a solution; keep going until the whole
+            # consistent tree is explored (92 solutions for n = 8).
+            assignment.pop()
+            walk.append(tree.parent(walk[-1]))
+            continue
+        col = next_col[depth]
+        if col >= n:
+            if depth == 0:
+                break
+            next_col[depth] = 0
+            assignment.pop()
+            walk.append(tree.parent(walk[-1]))
+            continue
+        next_col[depth] = col + 1
+        if consistent(col):
+            assignment.append(col)
+            walk.append(tree.children(walk[-1])[col])
+            next_col[depth + 1] = 0
+    # Return to the root so the trace is a closed exploration.
+    while walk[-1] != tree.root:
+        walk.append(tree.parent(walk[-1]))
+    return walk
+
+
+def main() -> None:
+    n = 8
+    tree = CompleteTree(n, n)
+    walk = queens_walk(n)
+    B = (n ** 5 - 1) // (n - 1)   # five tree levels per block
+    M = B                         # tight memory: one block resident
+    print(
+        f"{n}-queens search tree: arity {n}, height {n} "
+        f"({tree.size:.2e} vertices, implicit); solver walk of "
+        f"{len(walk) - 1} moves; B={B}, M={M}\n"
+    )
+    contenders = [
+        ("naive subtrees, s=1", naive_subtree_blocking(tree, B), FirstBlockPolicy()),
+        ("overlapped, s=2 (Lemma 17)", overlapped_tree_blocking(tree, B),
+         MostInteriorPolicy()),
+    ]
+    print(f"{'blocking':<28} {'faults':>7} {'sigma':>8}")
+    for name, blocking, policy in contenders:
+        searcher = Searcher(
+            tree, blocking, policy, ModelParams(B, M), validate_moves=False
+        )
+        trace = searcher.run_path(walk)
+        print(f"{name:<28} {trace.faults:>7} {trace.speedup:>8.2f}")
+    print(
+        "\nBacktracking traffic concentrates at stratum seams: every dead "
+        "end that\ncrosses a block boundary re-pages under the naive "
+        "packing, while the offset\ncopy keeps the frontier mid-block. "
+        "The deeper the thrash, the bigger the gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

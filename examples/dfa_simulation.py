@@ -1,0 +1,116 @@
+"""Simulating a large DFA stored on disk (paper Section 1).
+
+The paper lists "the simulation of large deterministic finite automata"
+among the unstructured, *directed* workloads for external graph
+searching. Here a large random DFA (states = vertices, one out-edge per
+alphabet symbol) is stored on simulated disk two ways, and input
+strings drive the walk — one state transition per symbol, one block
+read per fault:
+
+* hash partition, s = 1 — states striped by id;
+* transition-closure blocks — every state stored together with the
+  states reachable within a few symbols (a compact out-neighborhood:
+  the Lemma 13 idea applied to a directed graph, which is exactly the
+  paper's open question 5 territory).
+
+Run:  python examples/dfa_simulation.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ExplicitBlocking, ModelParams, Searcher
+from repro.blockings import NearestCenterPolicy
+from repro.core.policies import FirstBlockPolicy
+from repro.graphs import DirectedAdjacencyGraph
+from repro.graphs.traversal import bfs_distances
+
+
+def random_dfa(num_states: int, alphabet: int, seed: int) -> tuple[
+    DirectedAdjacencyGraph, dict[tuple[int, int], int]
+]:
+    """A random DFA: ``delta[(state, symbol)] -> state``. The graph
+    holds the transition edges (self-transitions are re-drawn; the
+    searching model walks real edges)."""
+    rng = random.Random(seed)
+    delta: dict[tuple[int, int], int] = {}
+    graph = DirectedAdjacencyGraph(range(num_states))
+    for state in range(num_states):
+        for symbol in range(alphabet):
+            target = rng.randrange(num_states)
+            while target == state:
+                target = rng.randrange(num_states)
+            delta[(state, symbol)] = target
+            graph.add_edge(state, target)
+    return graph, delta
+
+
+def run_input(delta: dict, num_states: int, length: int, seed: int) -> list[int]:
+    """The state trajectory of a random input string from state 0."""
+    rng = random.Random(seed)
+    alphabet = max(symbol for _, symbol in delta) + 1
+    trajectory = [0]
+    for _ in range(length):
+        symbol = rng.randrange(alphabet)
+        trajectory.append(delta[(trajectory[-1], symbol)])
+    return trajectory
+
+
+def closure_blocking(
+    graph: DirectedAdjacencyGraph, block_size: int
+) -> ExplicitBlocking:
+    """One block per state: the state plus its nearest forward
+    closure (BFS along out-edges) up to ``B`` states."""
+    blocks = {}
+    for state in graph.vertices():
+        closure = bfs_distances(graph, state, max_vertices=block_size)
+        members = list(closure)[:block_size]
+        blocks[("nbhd", state)] = set(members)
+    return ExplicitBlocking(block_size, blocks, universe_size=len(graph))
+
+
+def main() -> None:
+    num_states, alphabet, B, M = 2_000, 4, 16, 64
+    graph, delta = random_dfa(num_states, alphabet, seed=23)
+    trajectory = run_input(delta, num_states, length=10_000, seed=5)
+    print(
+        f"DFA: {num_states} states, alphabet {alphabet}, input of "
+        f"{len(trajectory) - 1} symbols, B={B}, M={M}\n"
+    )
+
+    striped = ExplicitBlocking(
+        B,
+        {
+            ("h", i): {s for s in range(num_states) if s % (num_states // B) == i}
+            for i in range(num_states // B)
+        },
+        universe_size=num_states,
+    )
+    closure = closure_blocking(graph, B)
+    policy = NearestCenterPolicy({s: s for s in graph.vertices()})
+
+    print(f"{'layout':<26} {'faults':>7} {'sigma':>8} {'blow-up':>8}")
+    for name, blocking, pol in (
+        ("hash partition, s=1", striped, FirstBlockPolicy()),
+        ("forward closures, s=B", closure, policy),
+    ):
+        searcher = Searcher(
+            graph, blocking, pol, ModelParams(B, M), validate_moves=False
+        )
+        trace = searcher.run_path(trajectory)
+        print(
+            f"{name:<26} {trace.faults:>7} {trace.speedup:>8.2f} "
+            f"{blocking.storage_blowup():>8.2f}"
+        )
+    print(
+        "\nA random DFA is an expander: most transitions leave any fixed "
+        "block, so even\nthe closure blocks only buy a modest factor — "
+        "consistent with the paper's\ngeneral-graph bounds, where sigma "
+        "is capped by r^+(B), tiny for expanders.\nDirected bounds remain "
+        "the paper's open question 5."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Hypertext browsing over an unstructured link graph (paper Section 1).
+
+The paper lists "browsing in hypertext applications" and "accesses in
+object-oriented databases" among the workloads needing external graph
+searching on *unstructured* graphs. This example builds a synthetic
+wiki as a random 4-regular link graph, stores it on simulated disk two
+ways, and replays browsing sessions (random surfers with restarts):
+
+* hash partition, s = 1 — pages assigned to blocks round-robin by id,
+  the layout a naive key-value store produces: zero locality;
+* Lemma 13 compact neighborhoods, s = B — every page stored with its
+  graph neighborhood, redundantly;
+* Theorem 4 ball-cover blocking — the same idea at a fraction of the
+  blow-up.
+
+Run:  python examples/hypertext_browsing.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ExplicitBlocking, FirstBlockPolicy, ModelParams, Searcher
+from repro.analysis import min_radius
+from repro.blockings import lemma13_blocking, theorem4_blocking
+from repro.graphs import random_regular_graph, shortest_path
+
+
+def hash_partition(n: int, B: int) -> ExplicitBlocking:
+    """Pages striped across blocks by id — no locality whatsoever."""
+    blocks: dict = {}
+    for v in range(n):
+        blocks.setdefault(("hash", v % ((n + B - 1) // B)), set()).add(v)
+    return ExplicitBlocking(B, blocks, universe_size=n)
+
+
+def browsing_session(graph, num_clicks: int, seed: int) -> list[int]:
+    """A surfer: mostly follows links, occasionally jumps to a hub and
+    walks there (teleports become shortest-path navigations, since the
+    paper's model only moves along edges)."""
+    rng = random.Random(seed)
+    walk = [0]
+    while len(walk) <= num_clicks:
+        if rng.random() < 0.02:
+            target = rng.randrange(len(graph))
+            walk.extend(shortest_path(graph, walk[-1], target)[1:])
+        else:
+            walk.append(rng.choice(sorted(graph.neighbors(walk[-1]))))
+    return walk
+
+
+def main() -> None:
+    n, degree, B = 1_000, 4, 16
+    M = 4 * B
+    graph = random_regular_graph(n, degree, seed=99)
+    session = browsing_session(graph, num_clicks=8_000, seed=3)
+    print(
+        f"synthetic wiki: {n} pages, {degree} links each, "
+        f"B={B}, M={M}, session of {len(session) - 1} clicks"
+    )
+    print(f"r^-(B) = {min_radius(graph, B):.0f} "
+          "(the Lemma 13 per-fault guarantee)\n")
+
+    l13_blocking, l13_policy = lemma13_blocking(graph, B)
+    t4_blocking, t4_policy = theorem4_blocking(graph, B)
+    contenders = [
+        ("hash partition, s=1", hash_partition(n, B), FirstBlockPolicy()),
+        ("Lemma 13 neighborhoods", l13_blocking, l13_policy),
+        ("Theorem 4 ball cover", t4_blocking, t4_policy),
+    ]
+    print(f"{'layout':<26} {'faults':>7} {'sigma':>8} {'blow-up':>8}")
+    for name, blocking, policy in contenders:
+        searcher = Searcher(
+            graph, blocking, policy, ModelParams(B, M), validate_moves=False
+        )
+        trace = searcher.run_path(session)
+        print(
+            f"{name:<26} {trace.faults:>7} {trace.speedup:>8.2f} "
+            f"{blocking.storage_blowup():>8.2f}"
+        )
+    print(
+        "\nWith no locality in the layout, nearly every click is a disk "
+        "read. Storing\npages with their neighborhoods cuts faults by "
+        "multiples; the ball-cover\nvariant keeps the win with less "
+        "redundancy (the gap widens on graphs\nwith larger r^-(B))."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Matrix passes over an out-of-core array (paper Sections 1 and 6).
+
+The paper motivates grid blocking with "some matrix algorithms such as
+searching in monotone arrays" and discusses (via Rosenberg) why no
+linear storage order preserves 2-D proximity. This example stores a
+large matrix on simulated disk as square tiles (the paper's isothetic
+blocks) and compares full passes in three visit orders:
+
+* snake (boustrophedon) order — the flat-array loop;
+* Hilbert curve order — the locality-preserving loop;
+* ping-pong over a tile boundary — the worst-case inner loop of a
+  stencil kernel that happens to straddle a block edge.
+
+Tiles make the Hilbert pass ~side times cheaper than the snake pass at
+small memory, and only the redundant double tiling tames the boundary
+ping-pong — Table 1's rows turned into a systems rule of thumb.
+
+Run:  python examples/matrix_scan.py
+"""
+
+from __future__ import annotations
+
+from repro import FirstBlockPolicy, ModelParams, Searcher
+from repro.blockings import (
+    FarthestFaultPolicy,
+    offset_grid_blocking,
+    uniform_grid_blocking,
+)
+from repro.graphs import GridGraph
+from repro.workloads import boustrophedon_scan, hilbert_scan, pingpong_walk
+
+
+def main() -> None:
+    order = 6                  # 64 x 64 matrix
+    side = 1 << order
+    B = 64                     # 8 x 8 tiles
+    M = 2 * B
+    grid = GridGraph((side, side))
+    params = ModelParams(B, M)
+
+    tiles = uniform_grid_blocking(2, B)
+    double = offset_grid_blocking(2, B)
+
+    snake = boustrophedon_scan((side, side))
+    hilbert = hilbert_scan(order)
+    # A stencil hot loop bouncing across the tile seam at x = 8: its
+    # working set straddles FOUR s=1 tiles (more than memory holds) but
+    # sits entirely inside ONE tile of the offset copy.
+    segment = [(7, y) for y in range(4, 12)] + [(8, y) for y in range(11, 3, -1)]
+    boundary = pingpong_walk(segment, bounces=60)
+
+    workloads = [
+        ("snake full pass", snake),
+        ("hilbert full pass", hilbert),
+        ("boundary ping-pong", boundary),
+    ]
+    layouts = [
+        ("square tiles, s=1", tiles, FirstBlockPolicy()),
+        ("double tiles, s=2", double, FarthestFaultPolicy(grid)),
+    ]
+    print(f"{side}x{side} matrix, {B}-cell tiles, M={M} cells\n")
+    print(f"{'workload':<22} {'layout':<22} {'faults':>7} {'sigma':>9}")
+    for wname, walk in workloads:
+        for lname, blocking, policy in layouts:
+            searcher = Searcher(grid, blocking, policy, params, validate_moves=False)
+            trace = searcher.run_path(walk)
+            print(f"{wname:<22} {lname:<22} {trace.faults:>7} "
+                  f"{trace.speedup:>9.2f}")
+        print()
+    print(
+        "The snake pass re-faults every tile once per row it crosses; the\n"
+        "Hilbert pass touches each tile once — visit order is worth a\n"
+        "factor of ~side even with the right tiles. The boundary ping-pong\n"
+        "shows why redundancy matters: with one tiling the hot loop sits\n"
+        "on a seam; the offset copy has a tile centered on it."
+    )
+
+
+if __name__ == "__main__":
+    main()

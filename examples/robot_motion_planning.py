@@ -1,0 +1,134 @@
+"""Robot motion planning on a discretized workspace (paper Section 1).
+
+The paper motivates grid-graph blocking with "robot motion planning in
+a space discretized in a grid". This example builds a warehouse floor
+as a grid with obstacle racks, stores the free-space graph on simulated
+disk three ways, and replays a shift's worth of pick-and-place routes:
+
+* row-major blocks — what a naive array layout gives you (the intro's
+  Rosenberg discussion: linearizations can't preserve 2-D proximity);
+* one square tessellation (s = 1);
+* the Lemma 22 double tessellation (s = 2).
+
+The double tessellation wins on faults despite storing the floor twice
+— the paper's "redundancy pays for read-only workloads" message on a
+concrete workload.
+
+Run:  python examples/robot_motion_planning.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ExplicitBlocking, FirstBlockPolicy, ModelParams, Searcher
+from repro.blockings import FarthestFaultPolicy, offset_grid_blocking, uniform_grid_blocking
+from repro.graphs import AdjacencyGraph, shortest_path
+
+
+def build_warehouse(width: int, height: int) -> AdjacencyGraph:
+    """A grid floor with vertical rack rows every 4 columns (gaps every
+    6 rows so the robot can cross)."""
+    def free(x: int, y: int) -> bool:
+        return not (x % 4 == 2 and y % 6 != 0)
+
+    graph = AdjacencyGraph()
+    for x in range(width):
+        for y in range(height):
+            if not free(x, y):
+                continue
+            graph.add_vertex((x, y))
+            for dx, dy in ((1, 0), (0, 1)):
+                nx, ny = x + dx, y + dy
+                if nx < width and ny < height and free(nx, ny):
+                    graph.add_edge((x, y), (nx, ny))
+    return graph
+
+
+def row_major_blocking(graph: AdjacencyGraph, width: int, B: int) -> ExplicitBlocking:
+    """Blocks of B consecutive free cells in row-major order — the
+    layout a flat array dump would produce."""
+    ordered = sorted(graph.vertices(), key=lambda v: (v[1], v[0]))
+    blocks = {
+        ("row", i): set(ordered[i * B : (i + 1) * B])
+        for i in range((len(ordered) + B - 1) // B)
+    }
+    return ExplicitBlocking(B, blocks, universe_size=len(graph))
+
+
+def plan_shift(graph: AdjacencyGraph, num_jobs: int, seed: int) -> list:
+    """A shift of pick-and-place jobs: shortest routes between random
+    free cells, chained into one long walk."""
+    rng = random.Random(seed)
+    cells = sorted(graph.vertices())
+    walk = [cells[0]]
+    for _ in range(num_jobs):
+        target = rng.choice(cells)
+        leg = shortest_path(graph, walk[-1], target)
+        walk.extend(leg[1:])
+    return walk
+
+
+def aisle_patrol(graph: AdjacencyGraph, boundary_x: int, length: int) -> list:
+    """A patrol route straddling the vertical line x = boundary_x: the
+    robot zigzags between the two columns while sweeping up and down.
+    If that line happens to be a block boundary of the storage layout,
+    an s = 1 tessellation faults almost every other move — the worst
+    case the paper's adversaries formalize, arising here by accident of
+    where the aisle falls."""
+    walk = [(boundary_x - 1, 0)]
+    y, dy = 0, 1
+    while len(walk) <= length:
+        x = walk[-1][0]
+        other = boundary_x if x == boundary_x - 1 else boundary_x - 1
+        if graph.has_vertex((other, y)):
+            walk.append((other, y))
+        if not graph.has_vertex((walk[-1][0], y + dy)):
+            dy = -dy
+        y += dy
+        if graph.has_vertex((walk[-1][0], y)):
+            walk.append((walk[-1][0], y))
+    return walk
+
+
+def main() -> None:
+    width, height, B = 60, 48, 64
+    M = 2 * B
+    graph = build_warehouse(width, height)
+    jobs = plan_shift(graph, num_jobs=60, seed=7)
+    patrol = aisle_patrol(graph, boundary_x=8, length=2000)  # 8 = tile side
+
+    params = ModelParams(B, M)
+    contenders = [
+        ("row-major, s=1", row_major_blocking(graph, width, B), FirstBlockPolicy()),
+        ("square tiles, s=1", uniform_grid_blocking(2, B), FirstBlockPolicy()),
+        (
+            "double tiles, s=2 (Lemma 22)",
+            offset_grid_blocking(2, B),
+            FarthestFaultPolicy(graph),
+        ),
+    ]
+    print(f"warehouse: {len(graph)} free cells, B={B}, M={M}\n")
+    for route_name, walk in (("pick-and-place shift", jobs), ("aisle patrol", patrol)):
+        print(f"{route_name} ({len(walk) - 1} moves)")
+        print(f"  {'layout':<30} {'faults':>7} {'sigma':>8} {'blow-up':>8}")
+        for name, blocking, policy in contenders:
+            searcher = Searcher(graph, blocking, policy, params, validate_moves=False)
+            trace = searcher.run_path(walk)
+            print(
+                f"  {name:<30} {trace.faults:>7} {trace.speedup:>8.2f} "
+                f"{blocking.storage_blowup():>8.2f}"
+            )
+        print()
+    print(
+        "On friendly routes any 2-D tessellation beats row-major (the\n"
+        "intro's Rosenberg point: linear layouts can't preserve 2-D\n"
+        "proximity). On the boundary-straddling patrol the redundant\n"
+        "double tessellation roughly halves the faults of the best s=1\n"
+        "layout — the Lemma 22 vs. Lemma 23 gap, the paper's case for\n"
+        "storage blow-up on read-only workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Project metadata lives in pyproject.toml; this file exists only so that
+``pip install -e .`` works in offline environments lacking the ``wheel``
+package (pip's legacy editable path calls ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""Blocking for external graph searching.
+
+A faithful, executable reproduction of M. H. Nodine, M. T. Goodrich,
+and J. S. Vitter, "Blocking for External Graph Searching" (PODS 1993;
+Algorithmica 16:181-214, 1996): redundant disk blockings, weak/strong
+paging models, the paper's blocking constructions, and the adversarial
+walks behind its upper bounds — plus an experiment harness regenerating
+every row of the paper's Table 1.
+
+Quickstart::
+
+    from repro import GridGraph, ModelParams, Searcher
+    from repro.blockings import OffsetGridBlocking
+    from repro.blockings.policies import MostInteriorGridPolicy
+    from repro.adversaries import GridCorridorAdversary
+
+    grid = GridGraph((256, 256))
+    params = ModelParams(block_size=64, memory_size=128)
+    blocking = OffsetGridBlocking(dim=2, block_size=64, copies=2)
+    searcher = Searcher(grid, blocking, MostInteriorGridPolicy(), params)
+    trace = searcher.run_adversary(
+        GridCorridorAdversary(dim=2, block_size=64), num_steps=20_000
+    )
+    print(trace.speedup)   # ~ sqrt(B)/4 or better, per Lemma 22
+"""
+
+from repro.core import (
+    Adversary,
+    Block,
+    BlockChoicePolicy,
+    Blocking,
+    ExplicitBlocking,
+    FirstBlockPolicy,
+    ImplicitBlocking,
+    LargestBlockPolicy,
+    Memory,
+    MemoryView,
+    ModelParams,
+    MostUncoveredPolicy,
+    PagingModel,
+    SearchTrace,
+    Searcher,
+    StrongMemory,
+    WeakMemory,
+    make_memory,
+    simulate_adversary,
+    simulate_path,
+)
+from repro.errors import (
+    AdversaryError,
+    AnalysisError,
+    BlockingError,
+    GraphError,
+    ModelError,
+    PagingError,
+    ReproError,
+)
+from repro.graphs import (
+    AdjacencyGraph,
+    CompleteTree,
+    DiagonalGridGraph,
+    FiniteGraph,
+    Graph,
+    GridGraph,
+    InfiniteDiagonalGridGraph,
+    InfiniteGridGraph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adversary",
+    "AdversaryError",
+    "AdjacencyGraph",
+    "AnalysisError",
+    "Block",
+    "BlockChoicePolicy",
+    "Blocking",
+    "BlockingError",
+    "CompleteTree",
+    "DiagonalGridGraph",
+    "ExplicitBlocking",
+    "FiniteGraph",
+    "FirstBlockPolicy",
+    "Graph",
+    "GraphError",
+    "GridGraph",
+    "ImplicitBlocking",
+    "InfiniteDiagonalGridGraph",
+    "InfiniteGridGraph",
+    "LargestBlockPolicy",
+    "Memory",
+    "MemoryView",
+    "ModelError",
+    "ModelParams",
+    "MostUncoveredPolicy",
+    "PagingError",
+    "PagingModel",
+    "ReproError",
+    "SearchTrace",
+    "Searcher",
+    "StrongMemory",
+    "WeakMemory",
+    "make_memory",
+    "simulate_adversary",
+    "simulate_path",
+]

@@ -1,0 +1,31 @@
+"""Adversarial path generators — the paper's upper-bound constructions."""
+
+from repro.adversaries.complex_adversary import (
+    CornerLoopAdversary,
+    UniformCornerAdversary,
+)
+from repro.adversaries.corridor import (
+    DiagonalCorridorAdversary,
+    GridCorridorAdversary,
+)
+from repro.adversaries.greedy import GreedyUncoveredAdversary
+from repro.adversaries.random_walk import RandomWalkAdversary
+from repro.adversaries.tour import (
+    CycleAdversary,
+    SpanningTreeCircuitAdversary,
+    SteinerTourAdversary,
+)
+from repro.adversaries.tree_adversary import RootLeafAdversary
+
+__all__ = [
+    "CornerLoopAdversary",
+    "UniformCornerAdversary",
+    "CycleAdversary",
+    "DiagonalCorridorAdversary",
+    "GreedyUncoveredAdversary",
+    "GridCorridorAdversary",
+    "RandomWalkAdversary",
+    "RootLeafAdversary",
+    "SpanningTreeCircuitAdversary",
+    "SteinerTourAdversary",
+]

@@ -1,0 +1,37 @@
+"""Random-walk path generator — the benign, average-case reference.
+
+The paper's guarantees are worst case; the benchmarks also report a
+uniform random walk so the gap between worst-case and typical
+behaviour of each blocking is visible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.engine import Adversary, MemoryView
+from repro.errors import AdversaryError
+from repro.graphs.base import Graph
+from repro.typing import Vertex
+
+
+class RandomWalkAdversary(Adversary):
+    """Uniformly random neighbor at every step (seeded)."""
+
+    def __init__(self, graph: Graph, start: Vertex, seed: int = 0) -> None:
+        self._graph = graph
+        self._start = start
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def start(self, view: MemoryView) -> Vertex:
+        return self._start
+
+    def step(self, pathfront: Vertex, view: MemoryView) -> Vertex:
+        neighbors = list(self._graph.neighbors(pathfront))
+        if not neighbors:
+            raise AdversaryError(f"{pathfront!r} has no neighbors")
+        return self._rng.choice(neighbors)

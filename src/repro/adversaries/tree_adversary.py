@@ -1,0 +1,85 @@
+"""The complete-tree adversary (Theorem 7).
+
+Walk down from the root, at each step heading toward the nearest
+uncovered vertex *below* the current one; on reaching a leaf, climb
+straight back to the root and repeat. Because at most
+``(d^(r+1)-1)/(d-1)`` vertices sit within distance ``r`` below the
+pathfront, a fault occurs at least every ``log_d B`` descending steps
+(once the initial memory contents are exhausted), which caps any
+blocking at ``sigma <= 2 lg B / lg d`` as the tree height grows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.engine import Adversary, MemoryView
+from repro.errors import AdversaryError
+from repro.graphs.tree import CompleteTree
+from repro.typing import Vertex
+
+
+class RootLeafAdversary(Adversary):
+    """Theorem 7's down-and-up walker on a complete d-ary tree."""
+
+    def __init__(self, tree: CompleteTree) -> None:
+        self._tree = tree
+        self._plan: list[int] = []
+        self._descending = True
+        self._seen_faults = -1
+
+    def reset(self) -> None:
+        self._plan = []
+        self._descending = True
+        self._seen_faults = -1
+
+    def start(self, view: MemoryView) -> Vertex:
+        return self._tree.root
+
+    def step(self, pathfront: Vertex, view: MemoryView) -> Vertex:
+        tree = self._tree
+        if self._descending and view.fault_count != self._seen_faults:
+            # A fault changed coverage: re-aim at the now-nearest
+            # uncovered descendant.
+            self._plan = []
+        self._seen_faults = view.fault_count
+        if not self._plan:
+            if self._descending:
+                if tree.is_leaf(pathfront):
+                    # Turn around: climb back to the root.
+                    self._descending = False
+                    self._plan = tree.path_to_root(pathfront)[1:]
+                else:
+                    self._plan = self._descent_plan(pathfront, view)
+            else:
+                if pathfront == tree.root:
+                    self._descending = True
+                    self._plan = self._descent_plan(pathfront, view)
+                else:  # pragma: no cover - the climb plan runs to the root
+                    self._plan = tree.path_to_root(pathfront)[1:]
+        return self._plan.pop(0)
+
+    def _descent_plan(self, vertex: int, view: MemoryView) -> list[int]:
+        """Shortest downward path to the nearest uncovered descendant;
+        if the whole subtree below is covered, one step toward the
+        subtree's deepest reach (first child) to keep descending."""
+        tree = self._tree
+        parents: dict[int, int] = {vertex: vertex}
+        queue: deque[int] = deque([vertex])
+        while queue:
+            u = queue.popleft()
+            for child in tree.children(u):
+                if child in parents:
+                    continue
+                parents[child] = u
+                if not view.covers(child):
+                    path = [child]
+                    while path[-1] != vertex:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path[1:]
+                queue.append(child)
+        children = tree.children(vertex)
+        if not children:
+            raise AdversaryError("descent requested at a leaf")
+        return [children[0]]

@@ -1,0 +1,180 @@
+"""BALL COVER solvers (Section 4.2).
+
+Problem BALL COVER(r): find a smallest vertex set ``V'`` such that
+every vertex of the graph lies within distance ``r`` of some member.
+The paper does not solve it optimally (it is NP-hard already at
+``r = 1``, by reduction from VERTEX COVER — Lemma 14); instead it gives
+constructions with *cardinality guarantees* that translate into
+storage-blow-up guarantees for the Theorem 4/6 blockings:
+
+=====================  ======================  ==================
+construction           solves                  cardinality
+=====================  ======================  ==================
+vertex cover (L14)     BALL COVER(1)           <= n (2-approx VC)
+matching ends (L15)    BALL COVER(2)           <= floor(n/2)
+path packing (Thm 3)   BALL COVER(3j)          <= floor(n/(2j+1))
+corollary 2            BALL COVER(r)           <= n/(2*floor(r/3)+1)
+ball packing (Thm 5)   BALL COVER(r)           <= n / k^-(floor(r/2))
+greedy (baseline)      BALL COVER(r)           no guarantee
+=====================  ======================  ==================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.matching import maximal_matching, maximal_path_packing
+from repro.analysis.neighborhoods import ball
+from repro.errors import AnalysisError
+from repro.graphs.base import FiniteGraph
+from repro.graphs.traversal import bfs_distances
+from repro.typing import Vertex
+
+
+def vertex_cover_2approx(graph: FiniteGraph) -> set[Vertex]:
+    """Both endpoints of a maximal matching: a 2-approximate vertex
+    cover, hence a BALL COVER(1) by Lemma 14."""
+    cover: set[Vertex] = set()
+    for u, v in maximal_matching(graph):
+        cover.add(u)
+        cover.add(v)
+    if not cover:
+        # Edgeless graph: every vertex must cover itself.
+        cover = set(graph.vertices())
+    return cover
+
+
+def ball_cover_matching(graph: FiniteGraph) -> set[Vertex]:
+    """Lemma 15: one endpoint per maximal-matching edge solves
+    BALL COVER(2) with at most ``floor(n/2)`` centers (``n >= 2``)."""
+    matching = maximal_matching(graph)
+    if not matching:
+        # Single vertex (or edgeless) graph.
+        return set(graph.vertices())
+    return {u for u, _ in matching}
+
+
+def ball_cover_path_packing(graph: FiniteGraph, j: int) -> set[Vertex]:
+    """Theorem 3: centers of a maximal packing of paths on ``2j + 1``
+    vertices solve BALL COVER(3j) with at most ``floor(n/(2j+1))``
+    centers (when ``n >= 2j + 1``)."""
+    if j < 1:
+        raise AnalysisError(f"j must be >= 1, got {j}")
+    packing = maximal_path_packing(graph, 2 * j + 1)
+    if not packing:
+        # No path of 2j+1 vertices exists: the graph has diameter
+        # < 2j+1, so any single vertex covers everything within 3j.
+        first = next(iter(graph.vertices()), None)
+        if first is None:
+            raise AnalysisError("graph has no vertices")
+        return {first}
+    return {path[j] for path in packing}
+
+
+def ball_cover_corollary2(graph: FiniteGraph, radius: int) -> set[Vertex]:
+    """Corollary 2: BALL COVER(r) with ``<= n/(2*floor(r/3)+1)``
+    centers, via Theorem 3 at ``j = floor(r/3)``.
+
+    Requires ``r >= 3`` (smaller radii: use the Lemma 14/15 routes).
+    """
+    if radius < 3:
+        raise AnalysisError(f"corollary 2 needs r >= 3, got {radius}")
+    return ball_cover_path_packing(graph, radius // 3)
+
+
+def maximal_ball_packing(graph: FiniteGraph, radius: int) -> list[Vertex]:
+    """Centers of a maximal packing of pairwise-disjoint balls of the
+    given radius (the Theorem 5 primitive).
+
+    Greedy over vertex iteration order: a vertex becomes a center when
+    its ball avoids every previously chosen ball.
+    """
+    if radius < 0:
+        raise AnalysisError(f"radius must be >= 0, got {radius}")
+    occupied: set[Vertex] = set()
+    centers: list[Vertex] = []
+    for v in graph.vertices():
+        if v in occupied:
+            continue
+        candidate_ball = ball(graph, v, radius)
+        if occupied.isdisjoint(candidate_ball):
+            centers.append(v)
+            occupied.update(candidate_ball)
+    return centers
+
+
+def ball_cover_packing(graph: FiniteGraph, radius: int) -> set[Vertex]:
+    """Theorem 5: centers of a maximal packing of balls of radius
+    ``floor(r/2)`` solve BALL COVER(r), with cardinality at most
+    ``n / k^-(floor(r/2))``."""
+    if radius < 0:
+        raise AnalysisError(f"radius must be >= 0, got {radius}")
+    return set(maximal_ball_packing(graph, radius // 2))
+
+
+def ball_cover_greedy(graph: FiniteGraph, radius: int) -> set[Vertex]:
+    """Greedy set-cover baseline: repeatedly pick the vertex whose ball
+    covers the most still-uncovered vertices.
+
+    No cardinality guarantee from the paper; included as the practical
+    comparator the ablation benchmarks measure against.
+    """
+    if radius < 0:
+        raise AnalysisError(f"radius must be >= 0, got {radius}")
+    uncovered = set(graph.vertices())
+    balls = {v: set(ball(graph, v, radius)) for v in graph.vertices()}
+    centers: set[Vertex] = set()
+    while uncovered:
+        best = max(balls, key=lambda v: len(balls[v] & uncovered))
+        gain = balls[best] & uncovered
+        if not gain:
+            raise AnalysisError("greedy cover stalled (disconnected graph?)")
+        centers.add(best)
+        uncovered -= gain
+        del balls[best]
+    return centers
+
+
+def is_ball_cover(graph: FiniteGraph, centers, radius: int) -> bool:
+    """Verify the BALL COVER property: every vertex within ``radius``
+    of some center (multi-source BFS)."""
+    center_list = list(centers)
+    if not center_list:
+        return len(graph) == 0
+    reached: set[Vertex] = set()
+    frontier = set(center_list)
+    reached.update(frontier)
+    for _ in range(radius):
+        nxt: set[Vertex] = set()
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if v not in reached:
+                    reached.add(v)
+                    nxt.add(v)
+        if not nxt:
+            break
+        frontier = nxt
+    return len(reached) == len(graph)
+
+
+def nearest_center_map(graph: FiniteGraph, centers) -> dict[Vertex, Vertex]:
+    """Map every vertex to its nearest center (ties broken by BFS
+    arrival order). Used by the Theorem 4 paging policy, which must
+    find a block center within ``r/2`` of any faulting vertex."""
+    center_list = list(centers)
+    if not center_list:
+        raise AnalysisError("no centers given")
+    assignment: dict[Vertex, Vertex] = {}
+    frontier: list[Vertex] = []
+    for c in center_list:
+        if c not in assignment:
+            assignment[c] = c
+            frontier.append(c)
+    while frontier:
+        nxt: list[Vertex] = []
+        for u in frontier:
+            owner = assignment[u]
+            for v in graph.neighbors(u):
+                if v not in assignment:
+                    assignment[v] = owner
+                    nxt.append(v)
+        frontier = nxt
+    return assignment

@@ -1,0 +1,124 @@
+"""Linear arrangements and the proximity question (Section 1).
+
+The paper's introduction examines a tempting heuristic: linearize the
+graph (Rosenberg's array-embedding setting [6,7]), cut the line into
+chunks of ``B``, and use the chunks as blocks. Rosenberg proved no
+linear mapping preserves proximity globally in arrays; the paper adds
+that the heuristic "does not hold even for finite arrays, as long as
+the array structure is much larger than the memory size".
+
+This module makes both halves measurable:
+
+* linearizations of 2-D grids (row-major, boustrophedon, Hilbert,
+  blocked/tile-major);
+* :func:`proximity_blowup` — the worst stretch a graph edge suffers in
+  storage, Rosenberg's quantity;
+* :func:`linearization_blocking` — the chunking heuristic as an actual
+  ``s = 1`` blocking, ready to be played against the adversaries.
+
+The companion benchmark (``bench_embedding.py``) shows every
+linearization chunking loses to the native tessellation blockings under
+the worst-case walk — the intro's claim, measured.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.blocking import ExplicitBlocking
+from repro.errors import AnalysisError
+from repro.graphs.base import FiniteGraph
+from repro.typing import Coord, Vertex
+from repro.workloads import boustrophedon_scan, hilbert_scan
+
+
+def row_major_linearization(shape: Sequence[int]) -> list[Coord]:
+    """Cells of a 2-D grid in row-major order (not a legal walk — a
+    storage order)."""
+    if len(shape) != 2:
+        raise AnalysisError(f"expected a 2-D shape, got {tuple(shape)}")
+    width, height = shape
+    return [(x, y) for y in range(height) for x in range(width)]
+
+
+def boustrophedon_linearization(shape: Sequence[int]) -> list[Coord]:
+    """The snake order (this one *is* also a legal walk)."""
+    return boustrophedon_scan(shape)
+
+
+def hilbert_linearization(order: int) -> list[Coord]:
+    """The Hilbert order on a ``2^order`` square."""
+    return hilbert_scan(order)
+
+
+def tile_major_linearization(shape: Sequence[int], side: int) -> list[Coord]:
+    """Tiles in row-major order, cells row-major within each tile —
+    the arrangement that makes chunking coincide with a tessellation
+    blocking when ``B = side^2`` and extents divide evenly."""
+    if len(shape) != 2:
+        raise AnalysisError(f"expected a 2-D shape, got {tuple(shape)}")
+    width, height = shape
+    if side < 1:
+        raise AnalysisError(f"side must be >= 1, got {side}")
+    order: list[Coord] = []
+    for tile_y in range(0, height, side):
+        for tile_x in range(0, width, side):
+            for y in range(tile_y, min(tile_y + side, height)):
+                for x in range(tile_x, min(tile_x + side, width)):
+                    order.append((x, y))
+    return order
+
+
+def proximity_blowup(graph: FiniteGraph, order: Sequence[Vertex]) -> int:
+    """Rosenberg's stretch: the maximum |pos(u) - pos(v)| over edges
+    ``(u, v)`` — how far graph-adjacent items can land in storage."""
+    position = {v: i for i, v in enumerate(order)}
+    if len(position) != len(order):
+        raise AnalysisError("linearization repeats a vertex")
+    missing = [v for v in graph.vertices() if v not in position]
+    if missing:
+        raise AnalysisError(
+            f"linearization misses {len(missing)} vertices (e.g. {missing[0]!r})"
+        )
+    worst = 0
+    for u, v in graph.edges():
+        worst = max(worst, abs(position[u] - position[v]))
+    return worst
+
+
+def average_proximity(graph: FiniteGraph, order: Sequence[Vertex]) -> float:
+    """DeMillo/Eisenstat/Lipton's average-case variant: the mean edge
+    stretch under the arrangement."""
+    position = {v: i for i, v in enumerate(order)}
+    total = 0
+    count = 0
+    for u, v in graph.edges():
+        total += abs(position[u] - position[v])
+        count += 1
+    if count == 0:
+        raise AnalysisError("graph has no edges")
+    return total / count
+
+
+def linearization_blocking(
+    order: Sequence[Vertex], block_size: int, universe_size: int | None = None
+) -> ExplicitBlocking:
+    """The intro's heuristic: chunk the linear order into blocks of
+    ``B`` consecutive items (``s = 1``)."""
+    if not order:
+        raise AnalysisError("empty linearization")
+    blocks = {
+        ("chunk", i): set(order[i * block_size : (i + 1) * block_size])
+        for i in range((len(order) + block_size - 1) // block_size)
+    }
+    return ExplicitBlocking(block_size, blocks, universe_size=universe_size)
+
+
+def stretch_profile(
+    graph: FiniteGraph, orders: dict[str, Sequence[Vertex]]
+) -> dict[str, tuple[int, float]]:
+    """(max, mean) edge stretch for each named linearization."""
+    return {
+        name: (proximity_blowup(graph, order), average_proximity(graph, order))
+        for name, order in orders.items()
+    }

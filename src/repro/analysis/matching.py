@@ -1,0 +1,123 @@
+"""Maximal matchings and maximal path packings (Section 4.2).
+
+The BALL COVER constructions rest on two packing primitives:
+
+* a *maximal matching* — a set of vertex-disjoint edges to which no
+  further vertex-disjoint edge can be added (Lemmas 14-15);
+* a *maximal packing of paths* on ``2j + 1`` vertices — vertex-disjoint
+  simple paths, maximal in the same sense (Theorem 3; Lemma 16 is the
+  ``j = 1`` case).
+
+Maximality (not maximum-ness) is all the proofs need, so greedy
+constructions suffice. Finding one more simple path on ``L`` vertices
+in the residual graph is done by depth-limited backtracking DFS, which
+is exact; it is exponential in ``L`` in the worst case but the library
+only ever needs small ``L = 2*floor(r/3) + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import AnalysisError
+from repro.graphs.base import FiniteGraph, Graph
+from repro.typing import Vertex
+
+
+def maximal_matching(graph: FiniteGraph) -> list[tuple[Vertex, Vertex]]:
+    """A greedy maximal matching.
+
+    Scans vertices in iteration order; matches each unmatched vertex
+    with its first unmatched neighbor. The result is maximal: every
+    edge of the graph has a matched endpoint.
+    """
+    matched: set[Vertex] = set()
+    matching: list[tuple[Vertex, Vertex]] = []
+    for u in graph.vertices():
+        if u in matched:
+            continue
+        for v in graph.neighbors(u):
+            if v not in matched:
+                matching.append((u, v))
+                matched.add(u)
+                matched.add(v)
+                break
+    return matching
+
+
+def find_simple_path(
+    graph: Graph, length: int, allowed: Iterable[Vertex]
+) -> list[Vertex] | None:
+    """A simple path on exactly ``length`` vertices inside ``allowed``.
+
+    Exact depth-limited backtracking. Returns the vertex sequence or
+    ``None`` when no such path exists (which certifies maximality for
+    the packing loop).
+    """
+    if length < 1:
+        raise AnalysisError(f"path length must be >= 1 vertex, got {length}")
+    starts = list(dict.fromkeys(allowed))  # deduplicate, preserve order
+    allowed_set = set(starts)
+    for start in starts:
+        path = [start]
+        on_path = {start}
+        # Each stack frame is an iterator over the untried neighbors.
+        stack = [iter(graph.neighbors(start))]
+        while stack:
+            if len(path) == length:
+                return path
+            advanced = False
+            for nxt in stack[-1]:
+                if nxt in allowed_set and nxt not in on_path:
+                    path.append(nxt)
+                    on_path.add(nxt)
+                    stack.append(iter(graph.neighbors(nxt)))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                on_path.discard(path.pop())
+    return None
+
+
+def maximal_path_packing(
+    graph: FiniteGraph, vertices_per_path: int
+) -> list[list[Vertex]]:
+    """A maximal packing of vertex-disjoint simple paths.
+
+    Repeatedly extracts a simple path on ``vertices_per_path`` vertices
+    from the unused portion of the graph until none remains. The
+    result is maximal by construction: the final failed search proves
+    no further path fits.
+    """
+    if vertices_per_path < 1:
+        raise AnalysisError(
+            f"vertices_per_path must be >= 1, got {vertices_per_path}"
+        )
+    unused = set(graph.vertices())
+    packing: list[list[Vertex]] = []
+    while True:
+        # Pass candidates in graph iteration order for determinism.
+        candidates = [v for v in graph.vertices() if v in unused]
+        path = find_simple_path(graph, vertices_per_path, candidates)
+        if path is None:
+            return packing
+        packing.append(path)
+        unused.difference_update(path)
+
+
+def matching_is_maximal(
+    graph: FiniteGraph, matching: Iterable[tuple[Vertex, Vertex]]
+) -> bool:
+    """Whether no vertex-disjoint edge can be added to ``matching``."""
+    matched: set[Vertex] = set()
+    for u, v in matching:
+        matched.add(u)
+        matched.add(v)
+    for u in graph.vertices():
+        if u in matched:
+            continue
+        for v in graph.neighbors(u):
+            if v not in matched:
+                return False
+    return True

@@ -1,0 +1,102 @@
+"""Neighborhoods, balls, and compact k-neighborhoods (Definitions 1-3, 7).
+
+* A *k-neighborhood* of ``v`` is any k-set of vertices containing ``v``.
+* Its *break-out distance* ``b(v, N)`` is the distance from ``v`` to the
+  nearest vertex outside ``N``.
+* A *compact* k-neighborhood maximizes the break-out distance; its
+  break-out distance is the *k-radius* ``r_v(k)``.
+* The *ball* ``K_v(r)`` is every vertex within distance ``r`` of ``v``;
+  its cardinality is the *volume* ``k_v(r)``.
+
+The k nearest vertices in BFS order always form a compact
+k-neighborhood (the proof of Lemma 2: any set sandwiched between the
+open and closed balls at the critical radius is compact, and BFS order
+produces exactly such a set — moreover a *connected* one).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.graphs.base import Graph
+from repro.graphs.traversal import bfs_distances
+from repro.typing import Vertex
+
+
+@dataclass(frozen=True)
+class CompactNeighborhood:
+    """A compact k-neighborhood and its break-out distance.
+
+    ``radius`` is the paper's ``r_v(k)``: the distance from the center
+    to the nearest vertex *not* in the neighborhood. It is
+    ``math.inf`` when the whole (component of the) graph has at most
+    ``k`` vertices, so no break-out vertex exists.
+    """
+
+    center: Vertex
+    vertices: frozenset[Vertex]
+    radius: float
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self.vertices
+
+
+def ball(graph: Graph, center: Vertex, radius: int) -> dict[Vertex, int]:
+    """The ball ``K_v(r)``: vertices within ``radius`` of ``center``,
+    mapped to their distances."""
+    if radius < 0:
+        raise AnalysisError(f"radius must be >= 0, got {radius}")
+    return bfs_distances(graph, center, max_radius=radius)
+
+
+def ball_volume(graph: Graph, center: Vertex, radius: int) -> int:
+    """The volume ``k_v(r) = |K_v(r)|`` (Definition 7)."""
+    return len(ball(graph, center, radius))
+
+
+def compact_neighborhood(graph: Graph, center: Vertex, k: int) -> CompactNeighborhood:
+    """A connected compact k-neighborhood of ``center`` (Lemma 2).
+
+    Takes the ``k`` vertices nearest to ``center`` in BFS order. The
+    returned radius is exact: the distance of the nearest excluded
+    vertex, i.e. the (k+1)-st smallest distance from ``center``.
+
+    Works on infinite graphs: BFS stops once ``k + 1`` vertices are
+    settled.
+    """
+    if k < 1:
+        raise AnalysisError(f"k must be >= 1, got {k}")
+    distances = bfs_distances(graph, center, max_vertices=k + 1)
+    ordered = list(distances.items())
+    chosen = frozenset(v for v, _ in ordered[:k])
+    if len(ordered) <= k:
+        return CompactNeighborhood(center, chosen, math.inf)
+    # BFS settles vertices in nondecreasing distance order, so the
+    # (k+1)-st settled vertex is the nearest one excluded.
+    radius = ordered[k][1]
+    return CompactNeighborhood(center, chosen, float(radius))
+
+
+def breakout_distance(graph: Graph, center: Vertex, neighborhood) -> float:
+    """The break-out distance ``b(v, N)`` of an arbitrary neighborhood
+    (Definition 2). ``math.inf`` when nothing lies outside it.
+
+    Runs a BFS from ``center`` that halts at the first vertex outside
+    ``neighborhood``; on infinite graphs this always terminates because
+    the neighborhood is finite.
+    """
+    members = set(neighborhood)
+    if center not in members:
+        raise AnalysisError(f"{center!r} is not in its own neighborhood")
+    # Cap the search: once more vertices than |N| are settled, a
+    # breakout must already have been seen.
+    distances = bfs_distances(graph, center, max_vertices=len(members) + 1)
+    outside = [d for v, d in distances.items() if v not in members]
+    if not outside:
+        return math.inf
+    return float(min(outside))

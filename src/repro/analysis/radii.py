@@ -1,0 +1,133 @@
+"""Graph k-radii (Definitions 3-5) and ball-volume extrema (Definition 7).
+
+``r_v(k)`` — the k-radius of a vertex — is the break-out distance of a
+compact k-neighborhood. The graph-level extrema
+
+* ``r^-(k) = min_v r_v(k)``   (minimum k-radius)
+* ``r^+(k) = max_v r_v(k)``   (maximum k-radius)
+
+drive the paper's general-graph bounds (Theorem 2 upper bounds are in
+terms of ``r^+``, the Lemma 13 / Theorem 4 blockings deliver ``r^-``).
+A class of graphs with ``r^+(k)/r^-(k)`` bounded is *k-uniform*
+(Definition 5); for those, upper and lower bounds match to constants.
+
+Also provided: ``k^-(r)`` and ``k^+(r)``, the minimum and maximum ball
+volumes (Definition 7), used by the Theorem 5/6 ball-cover bound.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable
+
+from repro.analysis.neighborhoods import ball_volume, compact_neighborhood
+from repro.errors import AnalysisError
+from repro.graphs.base import FiniteGraph, Graph
+from repro.typing import Vertex
+
+
+def vertex_radius(graph: Graph, vertex: Vertex, k: int) -> float:
+    """The k-radius ``r_v(k)`` of one vertex (exact, via BFS)."""
+    return compact_neighborhood(graph, vertex, k).radius
+
+
+def _resolve_vertices(
+    graph: FiniteGraph, sample: int | None, seed: int
+) -> Iterable[Vertex]:
+    if sample is None:
+        return graph.vertices()
+    population = list(graph.vertices())
+    if sample >= len(population):
+        return population
+    return random.Random(seed).sample(population, sample)
+
+
+def min_radius(
+    graph: FiniteGraph, k: int, sample: int | None = None, seed: int = 0
+) -> float:
+    """``r^-(k)``: the smallest k-radius over the graph.
+
+    Args:
+        sample: evaluate only this many randomly chosen vertices (an
+            estimate for large graphs); ``None`` means exact.
+        seed: sampling seed.
+    """
+    values = (vertex_radius(graph, v, k) for v in _resolve_vertices(graph, sample, seed))
+    try:
+        return min(values)
+    except ValueError:
+        raise AnalysisError("graph has no vertices") from None
+
+
+def max_radius(
+    graph: FiniteGraph, k: int, sample: int | None = None, seed: int = 0
+) -> float:
+    """``r^+(k)``: the largest k-radius over the graph."""
+    values = (vertex_radius(graph, v, k) for v in _resolve_vertices(graph, sample, seed))
+    try:
+        return max(values)
+    except ValueError:
+        raise AnalysisError("graph has no vertices") from None
+
+
+def radius_extrema(
+    graph: FiniteGraph, k: int, sample: int | None = None, seed: int = 0
+) -> tuple[float, float]:
+    """``(r^-(k), r^+(k))`` in one pass."""
+    lo = math.inf
+    hi = -math.inf
+    seen = False
+    for v in _resolve_vertices(graph, sample, seed):
+        r = vertex_radius(graph, v, k)
+        lo = min(lo, r)
+        hi = max(hi, r)
+        seen = True
+    if not seen:
+        raise AnalysisError("graph has no vertices")
+    return lo, hi
+
+
+def uniformity_ratio(
+    graph: FiniteGraph, k: int, sample: int | None = None, seed: int = 0
+) -> float:
+    """``r^+(k) / r^-(k)`` — the Definition 5 uniformity measure.
+
+    For an infinite *class* of graphs, boundedness of this ratio over
+    the class is what makes the general bounds tight; for one graph it
+    quantifies how uniform the neighborhood structure is.
+    """
+    lo, hi = radius_extrema(graph, k, sample=sample, seed=seed)
+    if lo == 0:
+        raise AnalysisError("r^-(k) is zero; ratio undefined")
+    if math.isinf(lo):
+        return 1.0  # every vertex sees the whole graph inside k
+    return hi / lo
+
+
+def min_ball_volume(
+    graph: FiniteGraph, radius: int, sample: int | None = None, seed: int = 0
+) -> int:
+    """``k^-(r)``: the smallest ball volume over the graph."""
+    values = (
+        ball_volume(graph, v, radius)
+        for v in _resolve_vertices(graph, sample, seed)
+    )
+    try:
+        return min(values)
+    except ValueError:
+        raise AnalysisError("graph has no vertices") from None
+
+
+def max_ball_volume(
+    graph: FiniteGraph, radius: int, sample: int | None = None, seed: int = 0
+) -> int:
+    """``k^+(r)``: the largest ball volume over the graph."""
+    values = (
+        ball_volume(graph, v, radius)
+        for v in _resolve_vertices(graph, sample, seed)
+    )
+    try:
+        return max(values)
+    except ValueError:
+        raise AnalysisError("graph has no vertices") from None

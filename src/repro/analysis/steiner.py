@@ -1,0 +1,171 @@
+"""Skeletal Steiner trees and group numbering (Lemmas 11-12).
+
+The paper's strongest general upper bound (``sigma <= 8 r^+(B)``,
+Lemma 12) is constructive: the adversary builds
+
+1. a *maximal close packing* of balls of radius ``r^+(B)``,
+2. a *skeletal Steiner tree* — a tree connecting the packing centers
+   through shortest paths,
+3. a *group assignment* — every graph vertex attached to its nearest
+   skeletal-tree vertex,
+4. a *numbering* of all vertices in depth-first-circuit order of the
+   skeletal tree (groups numbered when their parent is first visited),
+
+and then walks the tree visiting, at each fault, the lowest-numbered
+uncovered vertex. This module builds those four artifacts; the walk
+itself is :class:`repro.adversaries.tour.SteinerTourAdversary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ballcover import maximal_ball_packing
+from repro.errors import AnalysisError
+from repro.graphs.adjacency import subgraph
+from repro.graphs.base import FiniteGraph
+from repro.graphs.traversal import (
+    bfs_distances,
+    bfs_spanning_tree,
+    depth_first_circuit,
+    shortest_path,
+)
+from repro.typing import Vertex
+
+
+@dataclass
+class SkeletalSteinerTree:
+    """The Lemma 11/12 construction.
+
+    Attributes:
+        centers: packing-ball centers, in construction order.
+        tree: children lists of the skeletal tree (keys: every tree
+            vertex, including path vertices between centers).
+        root: the distinguished start vertex (first center).
+        circuit: the depth-first circuit of the tree (Definition 6).
+        groups: ``vertex -> skeletal tree vertex`` nearest-assignment
+            for *every* graph vertex.
+        numbering: ``vertex -> rank`` in the proof's visit order.
+        order: the inverse of ``numbering`` — vertices by rank.
+    """
+
+    centers: list[Vertex]
+    tree: dict[Vertex, list[Vertex]]
+    root: Vertex
+    circuit: list[Vertex]
+    groups: dict[Vertex, Vertex]
+    numbering: dict[Vertex, int]
+    order: list[Vertex]
+
+    @property
+    def tree_vertices(self) -> set[Vertex]:
+        return set(self.tree)
+
+
+def _center_spanning_edges(
+    graph: FiniteGraph, centers: list[Vertex]
+) -> list[tuple[Vertex, Vertex]]:
+    """A spanning tree of the centers under graph distance (Prim)."""
+    remaining = set(centers[1:])
+    in_tree = [centers[0]]
+    edges: list[tuple[Vertex, Vertex]] = []
+    # Distances from each tree member, computed lazily and cached.
+    dist_cache: dict[Vertex, dict[Vertex, int]] = {}
+    while remaining:
+        best: tuple[int, Vertex, Vertex] | None = None
+        for u in in_tree:
+            if u not in dist_cache:
+                dist_cache[u] = bfs_distances(graph, u)
+            du = dist_cache[u]
+            for v in remaining:
+                d = du.get(v)
+                if d is not None and (best is None or d < best[0]):
+                    best = (d, u, v)
+        if best is None:
+            raise AnalysisError("centers are not mutually reachable")
+        _, u, v = best
+        edges.append((u, v))
+        in_tree.append(v)
+        remaining.discard(v)
+    return edges
+
+
+def build_skeletal_steiner_tree(
+    graph: FiniteGraph, radius: int
+) -> SkeletalSteinerTree:
+    """Build the full Lemma 12 artifact for a connected finite graph.
+
+    Args:
+        graph: the searched graph.
+        radius: the packing-ball radius; the proofs use ``r^+(B)``.
+    """
+    centers = maximal_ball_packing(graph, radius)
+    if not centers:
+        raise AnalysisError("graph has no vertices")
+    # Realize a center spanning tree as shortest paths in the graph.
+    tree_vertex_set: set[Vertex] = {centers[0]}
+    for u, v in _center_spanning_edges(graph, centers):
+        tree_vertex_set.update(shortest_path(graph, u, v))
+    skeleton_graph = subgraph(graph, tree_vertex_set)
+    root = centers[0]
+    tree = bfs_spanning_tree(skeleton_graph, root)
+    if len(tree) != len(tree_vertex_set):
+        raise AnalysisError("skeletal subgraph is not connected")
+    circuit = depth_first_circuit(tree, root)
+    groups = _group_assignment(graph, tree_vertex_set)
+    numbering, order = _steiner_numbering(circuit, groups)
+    if len(numbering) != len(graph):
+        raise AnalysisError(
+            "numbering does not cover the graph (is it connected?)"
+        )
+    return SkeletalSteinerTree(
+        centers=centers,
+        tree=tree,
+        root=root,
+        circuit=circuit,
+        groups=groups,
+        numbering=numbering,
+        order=order,
+    )
+
+
+def _group_assignment(
+    graph: FiniteGraph, tree_vertices: set[Vertex]
+) -> dict[Vertex, Vertex]:
+    """Assign each graph vertex to its nearest skeletal-tree vertex
+    (multi-source BFS; ties go to the earlier-reached parent)."""
+    assignment = {v: v for v in tree_vertices}
+    frontier = list(tree_vertices)
+    while frontier:
+        nxt: list[Vertex] = []
+        for u in frontier:
+            owner = assignment[u]
+            for v in graph.neighbors(u):
+                if v not in assignment:
+                    assignment[v] = owner
+                    nxt.append(v)
+        frontier = nxt
+    return assignment
+
+
+def _steiner_numbering(
+    circuit: list[Vertex], groups: dict[Vertex, Vertex]
+) -> tuple[dict[Vertex, int], list[Vertex]]:
+    """Number vertices in the proof's order: walk the depth-first
+    circuit; at the first visit of each tree vertex, number the members
+    of its group (parent first, then the rest in stable order)."""
+    members: dict[Vertex, list[Vertex]] = {}
+    for vertex, parent in groups.items():
+        members.setdefault(parent, []).append(vertex)
+    numbering: dict[Vertex, int] = {}
+    order: list[Vertex] = []
+    for tree_vertex in circuit:
+        if tree_vertex in numbering:
+            continue
+        group = members.get(tree_vertex, [])
+        # Parent (the tree vertex itself) gets numbered first.
+        for vertex in [tree_vertex] + [v for v in group if v != tree_vertex]:
+            if vertex not in numbering:
+                numbering[vertex] = len(order)
+                order.append(vertex)
+    return numbering, order

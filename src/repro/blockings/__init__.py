@@ -1,0 +1,66 @@
+"""The paper's blocking constructions."""
+
+from repro.blockings.clip import clip_blocking
+from repro.blockings.grid_blocking import (
+    DiagonalNeighborhoodBlocking,
+    GridNeighborhoodBlocking,
+    diagonal_lemma13_blocking,
+    grid_lemma13_blocking,
+    TessellationBlocking,
+    contiguous_1d_blocking,
+    grid_block_side,
+    offset_1d_blocking,
+    offset_grid_blocking,
+    sheared_grid_blocking,
+    uniform_grid_blocking,
+)
+from repro.blockings.neighborhood_blocking import (
+    NearestCenterPolicy,
+    compact_neighborhood_blocking,
+    lemma13_blocking,
+    theorem4_blocking,
+    theorem6_blocking,
+)
+from repro.blockings.paths_blocking import OfflineWalkPolicy, all_walks_blocking
+from repro.blockings.policies import (
+    FarthestFaultPolicy,
+    MostInteriorPolicy,
+    OtherCopyPolicy,
+)
+from repro.blockings.tree_blocking import (
+    TreeStrataBlocking,
+    naive_subtree_blocking,
+    overlapped_tree_blocking,
+    tree_block_levels,
+)
+from repro.blockings.union import UnionBlocking
+
+__all__ = [
+    "FarthestFaultPolicy",
+    "MostInteriorPolicy",
+    "NearestCenterPolicy",
+    "OfflineWalkPolicy",
+    "OtherCopyPolicy",
+    "DiagonalNeighborhoodBlocking",
+    "GridNeighborhoodBlocking",
+    "TessellationBlocking",
+    "TreeStrataBlocking",
+    "UnionBlocking",
+    "all_walks_blocking",
+    "clip_blocking",
+    "compact_neighborhood_blocking",
+    "contiguous_1d_blocking",
+    "diagonal_lemma13_blocking",
+    "grid_block_side",
+    "grid_lemma13_blocking",
+    "lemma13_blocking",
+    "naive_subtree_blocking",
+    "offset_1d_blocking",
+    "offset_grid_blocking",
+    "overlapped_tree_blocking",
+    "sheared_grid_blocking",
+    "theorem4_blocking",
+    "theorem6_blocking",
+    "tree_block_levels",
+    "uniform_grid_blocking",
+]

@@ -1,0 +1,42 @@
+"""Clip an implicit blocking to a finite graph.
+
+The grid tessellation blockings tile all of ``Z^d``; when the searched
+graph is a finite box (or a box with holes, like the warehouse
+example), their blocks carry coordinates the graph does not contain.
+That is harmless for correctness — the dead slots are never visited —
+but it distorts storage accounting and wastes block capacity at the
+boundary.
+
+:func:`clip_blocking` materializes exactly the blocks that intersect a
+finite graph, restricted to the graph's vertices, producing an
+:class:`~repro.core.blocking.ExplicitBlocking` whose measured
+storage blow-up is honest for the finite instance.
+"""
+
+from __future__ import annotations
+
+from repro.core.blocking import Blocking, ExplicitBlocking
+from repro.errors import BlockingError
+from repro.graphs.base import FiniteGraph
+from repro.typing import BlockId, Vertex
+
+
+def clip_blocking(blocking: Blocking, graph: FiniteGraph) -> ExplicitBlocking:
+    """Restrict ``blocking`` to the vertices of ``graph``.
+
+    Every block id keeps its identity (so policies keyed on ids keep
+    working); blocks that intersect the graph are kept with only their
+    in-graph vertices; blocks entirely outside vanish.
+    """
+    clipped: dict[BlockId, set[Vertex]] = {}
+    for vertex in graph.vertices():
+        candidates = blocking.blocks_for(vertex)
+        if not candidates:
+            raise BlockingError(
+                f"vertex {vertex!r} is not covered by the blocking"
+            )
+        for bid in candidates:
+            clipped.setdefault(bid, set()).add(vertex)
+    return ExplicitBlocking(
+        blocking.block_size, clipped, universe_size=len(graph)
+    )

@@ -1,0 +1,90 @@
+"""The Lemma 1 all-paths blocking.
+
+Lemma 1's blocking stores "the vertices of all paths of length
+``B - 1``" — one block per length-``(B-1)`` walk, deduplicated by
+vertex set. Its storage blow-up is enormous (that is the lemma's
+point: unbounded redundancy plus off-line paging yields the perfect
+speed-up ``B`` even when ``B = M``), so the exhaustive construction is
+only feasible on tiny graphs; for a single known path, the much
+smaller :func:`repro.paging.offline.path_windows_blocking` carries the
+same guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.core.blocking import Blocking, ExplicitBlocking
+from repro.core.memory import Memory
+from repro.core.policies import BlockChoicePolicy
+from repro.errors import BlockingError, PagingError
+from repro.graphs.base import FiniteGraph
+from repro.typing import BlockId, Vertex
+
+
+def all_walks_blocking(graph: FiniteGraph, block_size: int) -> ExplicitBlocking:
+    """Every walk of ``block_size`` vertices, as blocks keyed by their
+    vertex set.
+
+    Exponential in ``B`` — guard-railed to refuse graphs where the walk
+    count would exceed a million.
+    """
+    walk_bound = len(graph) * max(
+        (graph.degree(v) for v in graph.vertices()), default=1
+    ) ** max(block_size - 1, 0)
+    if walk_bound > 1_000_000:
+        raise BlockingError(
+            f"all-walks blocking would enumerate ~{walk_bound} walks; "
+            "use path_windows_blocking for long paths instead"
+        )
+    blocks: dict[BlockId, frozenset[Vertex]] = {}
+    for start in graph.vertices():
+        stack: list[list[Vertex]] = [[start]]
+        while stack:
+            walk = stack.pop()
+            if len(walk) == block_size:
+                key = frozenset(walk)
+                blocks.setdefault(key, key)
+                continue
+            for nxt in graph.neighbors(walk[-1]):
+                stack.append(walk + [nxt])
+    if not blocks:
+        raise BlockingError("graph has no vertices")
+    return ExplicitBlocking(block_size, blocks, universe_size=len(graph))
+
+
+class OfflineWalkPolicy(BlockChoicePolicy):
+    """Lemma 1's off-line rule against :func:`all_walks_blocking`: at a
+    fault, read the block holding the next ``B`` path vertices.
+
+    Requires the evict-all discipline, like
+    :class:`repro.paging.offline.OfflineWindowPolicy` (same cursor
+    recovery argument).
+    """
+
+    def __init__(self, path: list[Vertex]) -> None:
+        self._path = list(path)
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def choose(self, vertex: Vertex, blocking: Blocking, memory: Memory) -> BlockId:
+        while self._cursor < len(self._path) and self._path[self._cursor] != vertex:
+            self._cursor += 1
+        if self._cursor >= len(self._path):
+            raise PagingError(
+                f"fault on {vertex!r} beyond the end of the provided path"
+            )
+        window = self._path[self._cursor : self._cursor + blocking.block_size]
+        self._cursor += 1
+        block_id = frozenset(window)
+        candidates = blocking.blocks_for(vertex)
+        if block_id in candidates:
+            return block_id
+        # The path's tail is shorter than B: any block containing the
+        # remaining window works; prefer a superset of it.
+        for candidate in candidates:
+            if block_id <= blocking.block(candidate).vertices:
+                return candidate
+        if not candidates:
+            raise PagingError(f"vertex {vertex!r} is not covered by the blocking")
+        return candidates[0]

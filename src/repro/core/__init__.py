@@ -1,0 +1,44 @@
+"""Core external-memory machinery: model, blocks, memory, engine."""
+
+from repro.core.block import Block, make_block
+from repro.core.blocking import Blocking, ExplicitBlocking, ImplicitBlocking
+from repro.core.engine import (
+    Adversary,
+    MemoryView,
+    Searcher,
+    simulate_adversary,
+    simulate_path,
+)
+from repro.core.memory import Memory, StrongMemory, WeakMemory, make_memory
+from repro.core.model import ModelParams, PagingModel
+from repro.core.policies import (
+    BlockChoicePolicy,
+    FirstBlockPolicy,
+    LargestBlockPolicy,
+    MostUncoveredPolicy,
+)
+from repro.core.stats import SearchTrace
+
+__all__ = [
+    "Adversary",
+    "Block",
+    "BlockChoicePolicy",
+    "Blocking",
+    "ExplicitBlocking",
+    "FirstBlockPolicy",
+    "ImplicitBlocking",
+    "LargestBlockPolicy",
+    "Memory",
+    "MemoryView",
+    "ModelParams",
+    "MostUncoveredPolicy",
+    "PagingModel",
+    "SearchTrace",
+    "Searcher",
+    "StrongMemory",
+    "WeakMemory",
+    "make_block",
+    "make_memory",
+    "simulate_adversary",
+    "simulate_path",
+]

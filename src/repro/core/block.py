@@ -1,0 +1,48 @@
+"""Disk blocks.
+
+A block is an immutable set of at most ``B`` vertex copies living on
+secondary storage (Section 2, assumption 2). Blocks carry an opaque
+identifier assigned by their blocking; the same vertex may appear in
+many blocks (assumption 3) — that redundancy is the paper's central
+lever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import BlockingError
+from repro.typing import BlockId, Vertex
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable disk block: an id plus the vertices it stores."""
+
+    block_id: BlockId
+    vertices: frozenset[Vertex]
+
+    def __post_init__(self) -> None:
+        if not self.vertices:
+            raise BlockingError(f"block {self.block_id!r} is empty")
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self.vertices
+
+    def __iter__(self):
+        return iter(self.vertices)
+
+
+def make_block(block_id: BlockId, vertices: Iterable[Vertex], block_size: int) -> Block:
+    """Build a :class:`Block`, enforcing the capacity ``B``."""
+    vertex_set = frozenset(vertices)
+    if len(vertex_set) > block_size:
+        raise BlockingError(
+            f"block {block_id!r} holds {len(vertex_set)} vertices, "
+            f"exceeding B={block_size}"
+        )
+    return Block(block_id, vertex_set)

@@ -1,0 +1,233 @@
+"""The search simulator.
+
+This is the game of Section 2 run for real: a path is traced through
+the graph one edge at a time; whenever the pathfront reaches an
+uncovered vertex a page fault occurs, the block-choice policy picks a
+block containing the vertex, the eviction policy frees room, and the
+block is read. The engine is *lazy* (Theorem 1: lazy on-line pagers are
+optimal in the weak model) — it reads exactly one block per fault and
+never reads otherwise.
+
+Two drivers:
+
+* :func:`simulate_path` — replay a pre-computed vertex sequence
+  (off-line workloads, random walks, recorded traces);
+* :func:`simulate_adversary` — alternate moves with an on-line
+  :class:`Adversary` that sees the coverage state through a read-only
+  :class:`MemoryView` (the worst-case game of the upper-bound proofs).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.core.blocking import Blocking
+from repro.core.memory import Memory, make_memory
+from repro.core.model import ModelParams
+from repro.core.policies import BlockChoicePolicy
+from repro.core.stats import SearchTrace
+from repro.errors import AdversaryError, PagingError
+from repro.graphs.base import Graph
+from repro.paging.eviction import EvictionPolicy, default_eviction
+from repro.typing import Vertex
+
+
+class MemoryView:
+    """Read-only window onto memory state, handed to adversaries.
+
+    The paper's adversaries know exactly what is in memory (the upper
+    bounds are worst case over paths, so the path generator may exploit
+    full knowledge); exposing coverage queries plus the fault count is
+    enough for every adversary in the paper.
+    """
+
+    def __init__(self, memory: Memory, trace: SearchTrace) -> None:
+        self._memory = memory
+        self._trace = trace
+
+    def covers(self, vertex: Vertex) -> bool:
+        """Whether the vertex is currently covered."""
+        return self._memory.covers(vertex)
+
+    def uncovered(self, vertex: Vertex) -> bool:
+        """Convenience negation, handy as a BFS predicate."""
+        return not self._memory.covers(vertex)
+
+    @property
+    def fault_count(self) -> int:
+        """Faults so far — lets adversaries invalidate cached plans."""
+        return self._trace.faults
+
+    @property
+    def covered_count(self) -> int:
+        """Number of distinct covered vertices."""
+        return len(self._memory.covered_vertices())
+
+    @property
+    def memory_capacity(self) -> int:
+        return self._memory.capacity
+
+
+class Adversary(abc.ABC):
+    """An on-line path generator playing against the pager."""
+
+    @abc.abstractmethod
+    def start(self, view: MemoryView) -> Vertex:
+        """The vertex the path begins on."""
+
+    @abc.abstractmethod
+    def step(self, pathfront: Vertex, view: MemoryView) -> Vertex:
+        """The next vertex; must be adjacent to ``pathfront``."""
+
+    def reset(self) -> None:
+        """Clear per-run state (default: stateless)."""
+
+
+class Searcher:
+    """A configured simulator bundling graph, blocking, and policies.
+
+    Reusable across runs; each run gets fresh memory. This is the
+    library's main entry point:
+
+    >>> searcher = Searcher(graph, blocking, policy, params)
+    >>> trace = searcher.run_path(path)
+    >>> trace.speedup
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        blocking: Blocking,
+        policy: BlockChoicePolicy,
+        params: ModelParams,
+        eviction: EvictionPolicy | None = None,
+        validate_moves: bool = True,
+        on_fault=None,
+    ) -> None:
+        """Args:
+        on_fault: optional callback ``(vertex, block_id, trace)`` fired
+            after each fault is serviced — an instrumentation hook for
+            debugging blockings and recording fault geometry.
+        """
+        if blocking.block_size > params.memory_size:
+            raise PagingError(
+                f"blocking block size {blocking.block_size} exceeds "
+                f"M={params.memory_size}"
+            )
+        self.graph = graph
+        self.blocking = blocking
+        self.policy = policy
+        self.params = params
+        self.eviction = eviction if eviction is not None else default_eviction(params)
+        self.validate_moves = validate_moves
+        self.on_fault = on_fault
+
+    # -- drivers ---------------------------------------------------------
+
+    def run_path(self, path: Iterable[Vertex]) -> SearchTrace:
+        """Trace a pre-computed vertex sequence; returns its statistics."""
+        self.policy.reset()
+        self.eviction.reset()
+        memory = make_memory(self.params)
+        trace = SearchTrace()
+        steps_since_fault = 0
+        previous: Vertex | None = None
+        for vertex in path:
+            if previous is not None:
+                self._check_move(previous, vertex)
+                trace.steps += 1
+                steps_since_fault += 1
+            steps_since_fault = self._visit(
+                vertex, memory, trace, steps_since_fault
+            )
+            previous = vertex
+        return trace
+
+    def run_adversary(self, adversary: Adversary, num_steps: int) -> SearchTrace:
+        """Play ``num_steps`` moves of the adversary game."""
+        self.policy.reset()
+        self.eviction.reset()
+        adversary.reset()
+        memory = make_memory(self.params)
+        trace = SearchTrace()
+        view = MemoryView(memory, trace)
+        pathfront = adversary.start(view)
+        if not self.graph.has_vertex(pathfront):
+            raise AdversaryError(f"start vertex {pathfront!r} is not in the graph")
+        steps_since_fault = self._visit(pathfront, memory, trace, 0)
+        for _ in range(num_steps):
+            nxt = adversary.step(pathfront, view)
+            self._check_move(pathfront, nxt)
+            trace.steps += 1
+            steps_since_fault += 1
+            steps_since_fault = self._visit(nxt, memory, trace, steps_since_fault)
+            pathfront = nxt
+        return trace
+
+    # -- internals --------------------------------------------------------
+
+    def _visit(
+        self,
+        vertex: Vertex,
+        memory: Memory,
+        trace: SearchTrace,
+        steps_since_fault: int,
+    ) -> int:
+        """Service the pathfront arriving at ``vertex``; returns the new
+        steps-since-last-fault counter."""
+        if memory.covers(vertex):
+            memory.touch(vertex)
+            return steps_since_fault
+        trace.faults += 1
+        trace.fault_gaps.append(steps_since_fault)
+        block_id = self.policy.choose(vertex, self.blocking, memory)
+        block = self.blocking.block(block_id)
+        if vertex not in block:
+            raise PagingError(
+                f"policy chose block {block_id!r}, which does not contain the "
+                f"faulting vertex {vertex!r}"
+            )
+        self.eviction.make_room(memory, block)
+        memory.load(block)
+        trace.blocks_read += 1
+        trace.block_reads.append(block_id)
+        memory.touch(vertex)
+        if self.on_fault is not None:
+            self.on_fault(vertex, block_id, trace)
+        return 0
+
+    def _check_move(self, src: Vertex, dst: Vertex) -> None:
+        if not self.validate_moves:
+            return
+        if dst == src or not any(n == dst for n in self.graph.neighbors(src)):
+            raise AdversaryError(f"illegal move: {src!r} -> {dst!r} is not an edge")
+
+
+def simulate_path(
+    graph: Graph,
+    blocking: Blocking,
+    policy: BlockChoicePolicy,
+    params: ModelParams,
+    path: Iterable[Vertex],
+    eviction: EvictionPolicy | None = None,
+    validate_moves: bool = True,
+) -> SearchTrace:
+    """One-shot helper around :meth:`Searcher.run_path`."""
+    searcher = Searcher(graph, blocking, policy, params, eviction, validate_moves)
+    return searcher.run_path(path)
+
+
+def simulate_adversary(
+    graph: Graph,
+    blocking: Blocking,
+    policy: BlockChoicePolicy,
+    params: ModelParams,
+    adversary: Adversary,
+    num_steps: int,
+    eviction: EvictionPolicy | None = None,
+    validate_moves: bool = True,
+) -> SearchTrace:
+    """One-shot helper around :meth:`Searcher.run_adversary`."""
+    searcher = Searcher(graph, blocking, policy, params, eviction, validate_moves)
+    return searcher.run_adversary(adversary, num_steps)

@@ -1,0 +1,212 @@
+"""Internal memory of the external-searching model (Section 2, item 5).
+
+Memory holds at most ``M`` vertex *copies* (the same vertex resident in
+two blocks counts twice). A vertex is *covered* while at least one copy
+is resident; an uncovered pathfront triggers a page fault.
+
+Two flushing disciplines:
+
+* :class:`WeakMemory` — contents are tracked block-by-block and may
+  only be freed a whole block at a time (the paper's weak model; all of
+  its algorithms run here). Recency is tracked per block: a block is
+  "used" when it is loaded and whenever the pathfront touches one of
+  its resident vertices, so LRU eviction matches the proofs' "retain
+  the block we are walking in" behaviour.
+* :class:`StrongMemory` — copies are individually evictable (the
+  paper's strong model, used by its upper bounds). Copies are tracked
+  in arrival order.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter, deque
+
+from repro.core.block import Block
+from repro.core.model import ModelParams, PagingModel
+from repro.errors import PagingError
+from repro.typing import BlockId, Vertex
+
+
+class Memory(abc.ABC):
+    """Common interface of both memory models."""
+
+    def __init__(self, params: ModelParams) -> None:
+        self._params = params
+        self._counts: Counter[Vertex] = Counter()
+        self._occupancy = 0
+
+    @property
+    def params(self) -> ModelParams:
+        return self._params
+
+    @property
+    def capacity(self) -> int:
+        return self._params.memory_size
+
+    @property
+    def occupancy(self) -> int:
+        """Resident vertex copies (never exceeds ``capacity``)."""
+        return self._occupancy
+
+    def covers(self, vertex: Vertex) -> bool:
+        """Whether at least one copy of ``vertex`` is resident."""
+        return self._counts[vertex] > 0
+
+    def copies_of(self, vertex: Vertex) -> int:
+        return self._counts[vertex]
+
+    def covered_vertices(self) -> set[Vertex]:
+        """The set of distinct vertices currently covered."""
+        return {v for v, c in self._counts.items() if c > 0}
+
+    def room_for(self, size: int) -> bool:
+        return self._occupancy + size <= self.capacity
+
+    @abc.abstractmethod
+    def load(self, block: Block) -> None:
+        """Bring a block's copies into memory. Requires room."""
+
+    @abc.abstractmethod
+    def touch(self, vertex: Vertex) -> None:
+        """Record that the pathfront visited a covered vertex."""
+
+    def _add_copies(self, vertices) -> None:
+        for v in vertices:
+            self._counts[v] += 1
+        self._occupancy += len(vertices)
+
+    def _remove_copies(self, vertices) -> None:
+        for v in vertices:
+            if self._counts[v] == 1:
+                del self._counts[v]
+            else:
+                self._counts[v] -= 1
+        self._occupancy -= len(vertices)
+
+
+class WeakMemory(Memory):
+    """Block-granular memory (the paper's weak model)."""
+
+    def __init__(self, params: ModelParams) -> None:
+        super().__init__(params)
+        self._resident: dict[BlockId, Block] = {}
+        # LRU clock: _recency[bid] is the tick of the block's last use.
+        self._recency: dict[BlockId, int] = {}
+        self._clock = 0
+        # vertex -> resident block ids containing it, for touch().
+        self._where: dict[Vertex, set[BlockId]] = {}
+
+    def resident_blocks(self) -> tuple[BlockId, ...]:
+        return tuple(self._resident)
+
+    def is_resident(self, block_id: BlockId) -> bool:
+        return block_id in self._resident
+
+    def load(self, block: Block) -> None:
+        if block.block_id in self._resident:
+            self._tick(block.block_id)
+            return
+        if not self.room_for(len(block)):
+            raise PagingError(
+                f"loading block {block.block_id!r} ({len(block)} copies) would "
+                f"exceed M={self.capacity} (occupancy {self.occupancy})"
+            )
+        self._resident[block.block_id] = block
+        self._add_copies(block.vertices)
+        for v in block.vertices:
+            self._where.setdefault(v, set()).add(block.block_id)
+        self._tick(block.block_id)
+
+    def evict_block(self, block_id: BlockId) -> None:
+        """Flush one whole resident block (the weak model's only move)."""
+        block = self._resident.pop(block_id, None)
+        if block is None:
+            raise PagingError(f"block {block_id!r} is not resident")
+        self._recency.pop(block_id, None)
+        self._remove_copies(block.vertices)
+        for v in block.vertices:
+            holders = self._where[v]
+            holders.discard(block_id)
+            if not holders:
+                del self._where[v]
+
+    def touch(self, vertex: Vertex) -> None:
+        for block_id in self._where.get(vertex, ()):
+            self._tick(block_id)
+
+    def lru_order(self) -> list[BlockId]:
+        """Resident block ids, least recently used first."""
+        return sorted(self._resident, key=lambda bid: self._recency[bid])
+
+    def resident_block(self, block_id: BlockId) -> Block:
+        """The resident block with the given id."""
+        try:
+            return self._resident[block_id]
+        except KeyError:
+            raise PagingError(f"block {block_id!r} is not resident") from None
+
+    @property
+    def clock(self) -> int:
+        """The use-clock: increments on every load or touch."""
+        return self._clock
+
+    def last_used(self, block_id: BlockId) -> int:
+        """Clock value of the block's most recent use."""
+        try:
+            return self._recency[block_id]
+        except KeyError:
+            raise PagingError(f"block {block_id!r} is not resident") from None
+
+    def _tick(self, block_id: BlockId) -> None:
+        self._clock += 1
+        self._recency[block_id] = self._clock
+
+
+class StrongMemory(Memory):
+    """Copy-granular memory (the paper's strong model).
+
+    Copies live in an arrival-ordered deque of ``(block_id, vertex)``
+    pairs; eviction may drop any subset, and the provided primitive
+    drops the oldest copies first.
+    """
+
+    def __init__(self, params: ModelParams) -> None:
+        super().__init__(params)
+        self._copies: deque[tuple[BlockId, Vertex]] = deque()
+
+    def load(self, block: Block) -> None:
+        if not self.room_for(len(block)):
+            raise PagingError(
+                f"loading block {block.block_id!r} ({len(block)} copies) would "
+                f"exceed M={self.capacity} (occupancy {self.occupancy})"
+            )
+        for v in block.vertices:
+            self._copies.append((block.block_id, v))
+        self._add_copies(block.vertices)
+
+    def evict_oldest(self, count: int) -> None:
+        """Flush the ``count`` oldest copies (any subset is legal in the
+        strong model; oldest-first is the provided discipline)."""
+        if count > len(self._copies):
+            raise PagingError(
+                f"cannot evict {count} copies; only {len(self._copies)} resident"
+            )
+        removed = [self._copies.popleft()[1] for _ in range(count)]
+        self._remove_copies(removed)
+
+    def evict_all(self) -> None:
+        removed = [v for _, v in self._copies]
+        self._copies.clear()
+        self._remove_copies(removed)
+
+    def touch(self, vertex: Vertex) -> None:
+        # Copy-level recency is not tracked; eviction is arrival-ordered.
+        pass
+
+
+def make_memory(params: ModelParams) -> Memory:
+    """The memory implementation matching ``params.paging_model``."""
+    if params.paging_model is PagingModel.WEAK:
+        return WeakMemory(params)
+    return StrongMemory(params)

@@ -1,0 +1,68 @@
+"""External-memory model parameters (Section 2 of the paper).
+
+The model is parameterized by the block size ``B`` (vertices per disk
+block), the internal-memory capacity ``M`` (vertex copies held in
+memory), and the *paging model*:
+
+* ``WEAK`` — memory may only be freed a whole resident block at a time
+  (Section 2, assumption 5, weak variant). All of the paper's
+  algorithms operate in this model.
+* ``STRONG`` — any ``B`` vertex copies may be flushed, regardless of the
+  block they arrived in. The paper's upper bounds hold even against
+  this stronger memory.
+
+``ModelParams`` is a frozen value object; it validates the paper's
+standing assumptions (``1 <= B <= M``) at construction time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+class PagingModel(enum.Enum):
+    """Which units the memory is allowed to flush (Section 2, item 5)."""
+
+    WEAK = "weak"
+    STRONG = "strong"
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Parameters of the external-memory searching model.
+
+    Attributes:
+        block_size: ``B``, the number of vertices a disk block holds.
+        memory_size: ``M``, the number of vertex copies that fit in
+            internal memory. Must satisfy ``M >= B``.
+        paging_model: weak (flush whole blocks) or strong (flush any
+            copies). Defaults to weak, which is what every algorithm in
+            the paper uses.
+    """
+
+    block_size: int
+    memory_size: int
+    paging_model: PagingModel = PagingModel.WEAK
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ModelError(f"block size B must be >= 1, got {self.block_size}")
+        if self.memory_size < self.block_size:
+            raise ModelError(
+                f"memory size M={self.memory_size} must be >= block size "
+                f"B={self.block_size}"
+            )
+
+    @property
+    def blocks_in_memory(self) -> int:
+        """How many full blocks fit in memory simultaneously (``M // B``)."""
+        return self.memory_size // self.block_size
+
+    def rho(self, num_vertices: int) -> float:
+        """The paper's ``rho = n / M`` for a graph of ``num_vertices``."""
+        if num_vertices < 1:
+            raise ModelError("graph must have at least one vertex")
+        return num_vertices / self.memory_size

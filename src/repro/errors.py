@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ModelError(ReproError):
+    """Invalid external-memory model parameters (e.g. ``B > M``)."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or a query about a missing vertex."""
+
+
+class BlockingError(ReproError):
+    """Invalid blocking: oversized block, uncovered vertex, bad id."""
+
+
+class PagingError(ReproError):
+    """A paging policy failed to service a fault within the model rules."""
+
+
+class AdversaryError(ReproError):
+    """An adversary produced an illegal move (not an edge of the graph)."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine was asked an ill-posed question.
+
+    Example: the k-radius of a vertex in a graph with at most ``k``
+    vertices, for which no break-out vertex exists.
+    """

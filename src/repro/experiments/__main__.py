@@ -1,0 +1,71 @@
+"""Regenerate the paper's Table 1 from the command line.
+
+Usage::
+
+    python -m repro.experiments            # full sweep (a few minutes)
+    python -m repro.experiments --quick    # shortened traces (~1 minute)
+
+Prints the measured table (sigma per row with the paper's envelope),
+the closed-form checks, and a verdict line; exits nonzero if any bound
+failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.report import failures, format_checks, format_games
+from repro.experiments.table1 import run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce Table 1 of 'Blocking for External Graph Searching'.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run shortened traces (smoke-test scale)",
+    )
+    parser.add_argument(
+        "--figures",
+        action="store_true",
+        help="print ASCII renderings of Figures 4, 6, and 7 and exit",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the results to a JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.figures:
+        from repro.experiments.figures import all_figures
+
+        print(all_figures())
+        return 0
+
+    games, checks = run_all(quick=args.quick)
+    if args.json:
+        from repro.experiments.io import dump_results
+
+        dump_results(args.json, games, checks)
+        print(f"results written to {args.json}\n")
+    print("== Table 1: adversary games ==\n")
+    print(format_games(games))
+    print("\n== Closed-form checks (Examples 1-2, BALL COVER) ==\n")
+    print(format_checks(checks))
+    bad = failures(games, checks)
+    if bad:
+        print(f"\n{len(bad)} bound(s) violated:")
+        for description in bad:
+            print(f"  - {description}")
+        return 1
+    print(f"\nAll {len(games)} games and {len(checks)} checks hold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

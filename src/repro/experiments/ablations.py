@@ -1,0 +1,145 @@
+"""Ablation runners: the design choices DESIGN.md calls out, as API.
+
+Each function plays one configuration axis and returns labelled
+results, so the ablations are reusable from code, not only from the
+benchmark suite:
+
+1. eviction discipline (evict-all vs LRU vs marking),
+2. memory model (weak vs strong),
+3. block-choice policy (first vs interior vs farthest-fault),
+4. overlap copies (s = 1, 2, 4 offset tessellations).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.adversaries import GreedyUncoveredAdversary, RandomWalkAdversary
+from repro.blockings import (
+    FarthestFaultPolicy,
+    MostInteriorPolicy,
+    offset_grid_blocking,
+)
+from repro.core.engine import Searcher
+from repro.core.model import ModelParams, PagingModel
+from repro.core.policies import FirstBlockPolicy
+from repro.core.stats import SearchTrace
+from repro.graphs import InfiniteGridGraph
+from repro.paging.eviction import (
+    EvictAllPolicy,
+    FifoCopiesEviction,
+    LruEviction,
+)
+from repro.paging.marking import MarkingEviction
+
+
+def eviction_ablation(
+    block_size: int = 64,
+    memory_ratio: int = 4,
+    num_steps: int = 6_000,
+    seed: int = 4,
+) -> dict[str, SearchTrace]:
+    """Evict-all vs LRU vs marking on a revisiting random walk over the
+    2-D s=2 blocking."""
+    graph = InfiniteGridGraph(2)
+    results: dict[str, SearchTrace] = {}
+    for name, eviction in (
+        ("evict-all", EvictAllPolicy()),
+        ("lru", LruEviction()),
+        ("marking", MarkingEviction(seed=seed)),
+    ):
+        searcher = Searcher(
+            graph,
+            offset_grid_blocking(2, block_size),
+            FarthestFaultPolicy(graph),
+            ModelParams(block_size, memory_ratio * block_size),
+            eviction=eviction,
+            validate_moves=False,
+        )
+        results[name] = searcher.run_adversary(
+            RandomWalkAdversary(graph, (0, 0), seed=seed), num_steps
+        )
+    return results
+
+
+def model_ablation(
+    block_size: int = 64,
+    memory_ratio: int = 4,
+    num_steps: int = 6_000,
+    seed: int = 4,
+) -> dict[str, SearchTrace]:
+    """Weak (LRU blocks) vs strong (FIFO copies) memory on the same
+    workload — Theorem 1's message that the weak model suffices."""
+    graph = InfiniteGridGraph(2)
+    results: dict[str, SearchTrace] = {}
+    configs = {
+        "weak-lru": (PagingModel.WEAK, LruEviction()),
+        "strong-fifo": (PagingModel.STRONG, FifoCopiesEviction()),
+    }
+    for name, (model, eviction) in configs.items():
+        searcher = Searcher(
+            graph,
+            offset_grid_blocking(2, block_size),
+            FarthestFaultPolicy(graph),
+            ModelParams(block_size, memory_ratio * block_size, model),
+            eviction=eviction,
+            validate_moves=False,
+        )
+        results[name] = searcher.run_adversary(
+            RandomWalkAdversary(graph, (0, 0), seed=seed), num_steps
+        )
+    return results
+
+
+def policy_ablation(
+    block_size: int = 64,
+    num_steps: int = 6_000,
+) -> dict[str, SearchTrace]:
+    """First vs most-interior vs farthest-fault block choice against
+    the greedy adversary on the 2-D s=2 blocking — the policy is where
+    Lemma 22's guarantee lives."""
+    graph = InfiniteGridGraph(2)
+    results: dict[str, SearchTrace] = {}
+    for name, policy in (
+        ("first", FirstBlockPolicy()),
+        ("interior", MostInteriorPolicy()),
+        ("farthest", FarthestFaultPolicy(graph)),
+    ):
+        searcher = Searcher(
+            graph,
+            offset_grid_blocking(2, block_size),
+            policy,
+            ModelParams(block_size, 2 * block_size),
+            validate_moves=False,
+        )
+        results[name] = searcher.run_adversary(
+            GreedyUncoveredAdversary(graph, (0, 0), max_radius=40), num_steps
+        )
+    return results
+
+
+def copies_ablation(
+    copies_values: Sequence[int] = (1, 2, 4),
+    block_size: int = 64,
+    num_steps: int = 6_000,
+) -> dict[int, SearchTrace]:
+    """How many offset copies to store: sigma under the greedy
+    adversary as s grows (the paper's choice of s = 2 is the knee)."""
+    graph = InfiniteGridGraph(2)
+    results: dict[int, SearchTrace] = {}
+    for copies in copies_values:
+        blocking = offset_grid_blocking(2, block_size, copies=copies)
+        policy = (
+            FirstBlockPolicy() if copies == 1 else FarthestFaultPolicy(graph)
+        )
+        searcher = Searcher(
+            graph,
+            blocking,
+            policy,
+            ModelParams(block_size, 2 * block_size),
+            validate_moves=False,
+        )
+        results[copies] = searcher.run_adversary(
+            GreedyUncoveredAdversary(graph, (0, 0), max_radius=40), num_steps
+        )
+    return results

@@ -1,0 +1,173 @@
+"""Experiment harness.
+
+Wraps one adversary-vs-blocking game into a record carrying the
+measured speed-up next to the paper's predicted envelope, so the
+Table 1 reproduction is a list of these records and "does the paper
+hold" is a pair of boolean columns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.blocking import Blocking
+from repro.core.engine import Adversary, Searcher
+from repro.core.model import ModelParams
+from repro.core.policies import BlockChoicePolicy
+from repro.core.stats import SearchTrace
+from repro.graphs.base import Graph
+from repro.paging.eviction import EvictionPolicy
+
+
+@dataclass
+class ExperimentResult:
+    """One measured row of the reproduction.
+
+    ``lower_bound`` is the guarantee of the blocking construction (the
+    paper's lower bound on sigma); ``upper_bound`` is the adversary's
+    cap (the paper's upper bound). ``sigma`` is measured from the run;
+    both bounds should bracket it.
+    """
+
+    experiment: str
+    description: str
+    params: dict = field(default_factory=dict)
+    sigma: float = math.nan
+    steady_sigma: float = math.nan
+    min_gap: float = math.nan
+    faults: int = 0
+    steps: int = 0
+    lower_bound: float | None = None
+    upper_bound: float | None = None
+    storage_blowup: float | None = None
+    trace: SearchTrace | None = field(default=None, repr=False)
+
+    @property
+    def lower_holds(self) -> bool | None:
+        """Whether the measured sigma respects the construction's
+        guarantee (None when no lower bound applies). Uses the steady
+        speed-up: the compulsory start-up fault is not the blocking's
+        fault."""
+        if self.lower_bound is None:
+            return None
+        return self.steady_sigma >= self.lower_bound - 1e-9
+
+    @property
+    def upper_holds(self) -> bool | None:
+        """Whether the adversary kept sigma under the paper's cap."""
+        if self.upper_bound is None:
+            return None
+        return self.sigma <= self.upper_bound + 1e-9
+
+    @property
+    def holds(self) -> bool:
+        """Both applicable bounds respected."""
+        return (self.lower_holds is not False) and (self.upper_holds is not False)
+
+
+def run_game(
+    experiment: str,
+    description: str,
+    graph: Graph,
+    blocking: Blocking,
+    policy: BlockChoicePolicy,
+    model: ModelParams,
+    adversary: Adversary,
+    num_steps: int,
+    lower_bound: float | None = None,
+    upper_bound: float | None = None,
+    params: Mapping | None = None,
+    eviction: EvictionPolicy | None = None,
+    validate_moves: bool = False,
+) -> ExperimentResult:
+    """Play the adversary game and package the outcome.
+
+    Move validation defaults off here (the harness runs long traces
+    against trusted adversaries; unit tests run with validation on).
+    """
+    searcher = Searcher(
+        graph,
+        blocking,
+        policy,
+        model,
+        eviction=eviction,
+        validate_moves=validate_moves,
+    )
+    trace = searcher.run_adversary(adversary, num_steps)
+    return ExperimentResult(
+        experiment=experiment,
+        description=description,
+        params=dict(params or {}),
+        sigma=trace.speedup,
+        steady_sigma=trace.steady_speedup,
+        min_gap=float(trace.min_gap),
+        faults=trace.faults,
+        steps=trace.steps,
+        lower_bound=lower_bound,
+        upper_bound=upper_bound,
+        storage_blowup=blocking.storage_blowup(),
+        trace=trace,
+    )
+
+
+@dataclass
+class CheckResult:
+    """A closed-form check (Example 1/2 radii, ball-cover cardinality):
+    a measured quantity against the paper's predicted value with an
+    allowed deviation."""
+
+    experiment: str
+    description: str
+    expected: float
+    measured: float
+    tolerance: float = 0.0
+
+    @property
+    def holds(self) -> bool:
+        return abs(self.measured - self.expected) <= self.tolerance + 1e-9
+
+    @property
+    def error(self) -> float:
+        return self.measured - self.expected
+
+
+def run_worst_case(
+    experiment: str,
+    description: str,
+    graph: Graph,
+    blocking: Blocking,
+    policy: BlockChoicePolicy,
+    model: ModelParams,
+    adversaries: Mapping[str, Adversary],
+    num_steps: int,
+    lower_bound: float | None = None,
+    upper_bound: float | None = None,
+    params: Mapping | None = None,
+) -> ExperimentResult:
+    """Play several adversaries and keep the *worst* outcome (smallest
+    sigma) — a stronger check of a construction's lower bound than any
+    single adversary, since the guarantee must hold against all walks.
+
+    The winning adversary's name is recorded in ``params['adversary']``.
+    """
+    worst: ExperimentResult | None = None
+    for name, adversary in adversaries.items():
+        result = run_game(
+            experiment,
+            description,
+            graph,
+            blocking,
+            policy,
+            model,
+            adversary,
+            num_steps,
+            lower_bound=lower_bound,
+            upper_bound=upper_bound,
+            params=dict(params or {}, adversary=name),
+        )
+        if worst is None or result.sigma < worst.sigma:
+            worst = result
+    assert worst is not None, "no adversaries given"
+    return worst

@@ -1,0 +1,109 @@
+"""Persist experiment results as JSON.
+
+``python -m repro.experiments --json results.json`` writes the full
+reproduction record (games + checks) to disk; :func:`load_results`
+reads it back into the result dataclasses, so sweeps can be archived,
+diffed between machines, or post-processed without re-running traces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.harness import CheckResult, ExperimentResult
+
+_SCHEMA_VERSION = 1
+
+
+def _game_to_dict(result: ExperimentResult) -> dict:
+    return {
+        "experiment": result.experiment,
+        "description": result.description,
+        "params": {str(k): _jsonable(v) for k, v in result.params.items()},
+        "sigma": result.sigma,
+        "steady_sigma": result.steady_sigma,
+        "min_gap": result.min_gap,
+        "faults": result.faults,
+        "steps": result.steps,
+        "lower_bound": result.lower_bound,
+        "upper_bound": result.upper_bound,
+        "storage_blowup": result.storage_blowup,
+        "holds": result.holds,
+    }
+
+
+def _check_to_dict(result: CheckResult) -> dict:
+    return {
+        "experiment": result.experiment,
+        "description": result.description,
+        "expected": result.expected,
+        "measured": result.measured,
+        "tolerance": result.tolerance,
+        "holds": result.holds,
+    }
+
+
+def _jsonable(value):
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def dump_results(
+    path: str | Path,
+    games: Sequence[ExperimentResult],
+    checks: Sequence[CheckResult],
+) -> None:
+    """Write games and checks to a JSON file."""
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "paper": "Nodine, Goodrich, Vitter: Blocking for External Graph Searching",
+        "games": [_game_to_dict(g) for g in games],
+        "checks": [_check_to_dict(c) for c in checks],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_results(
+    path: str | Path,
+) -> tuple[list[ExperimentResult], list[CheckResult]]:
+    """Read a results file back into dataclasses.
+
+    Traces are not persisted (only their statistics), so loaded
+    ``ExperimentResult.trace`` is ``None``.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported results schema {payload.get('schema')!r}; "
+            f"expected {_SCHEMA_VERSION}"
+        )
+    games = [
+        ExperimentResult(
+            experiment=g["experiment"],
+            description=g["description"],
+            params=dict(g.get("params", {})),
+            sigma=g["sigma"],
+            steady_sigma=g["steady_sigma"],
+            min_gap=g["min_gap"],
+            faults=g["faults"],
+            steps=g["steps"],
+            lower_bound=g["lower_bound"],
+            upper_bound=g["upper_bound"],
+            storage_blowup=g["storage_blowup"],
+        )
+        for g in payload["games"]
+    ]
+    checks = [
+        CheckResult(
+            experiment=c["experiment"],
+            description=c["description"],
+            expected=c["expected"],
+            measured=c["measured"],
+            tolerance=c["tolerance"],
+        )
+        for c in payload["checks"]
+    ]
+    return games, checks

@@ -1,0 +1,64 @@
+"""Repetition statistics for randomized configurations.
+
+The paper's quantities are worst case, but several library components
+are randomized (random walks, the marking pager, random graph models).
+For those, one trace is an anecdote; this module runs a seeded family
+of repetitions and summarizes the sigma distribution, giving the
+benchmarks honest error bars without any external dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.stats import SearchTrace
+
+
+@dataclass(frozen=True)
+class SigmaStats:
+    """Summary of measured speed-ups across repetitions."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    stdev: float
+    min_gap: float
+
+    @property
+    def spread(self) -> float:
+        """max/min ratio — a quick stability indicator."""
+        if self.minimum == 0:
+            return math.inf
+        return self.maximum / self.minimum
+
+
+def repeat_game(
+    run: Callable[[int], SearchTrace], seeds: Sequence[int]
+) -> SigmaStats:
+    """Run ``run(seed)`` for every seed and summarize.
+
+    Args:
+        run: plays one game with the given seed and returns its trace.
+        seeds: the seeds to use (len >= 1).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    sigmas: list[float] = []
+    worst_gap = math.inf
+    for seed in seeds:
+        trace = run(seed)
+        sigmas.append(trace.speedup)
+        worst_gap = min(worst_gap, trace.min_gap)
+    mean = sum(sigmas) / len(sigmas)
+    variance = sum((s - mean) ** 2 for s in sigmas) / len(sigmas)
+    return SigmaStats(
+        count=len(sigmas),
+        minimum=min(sigmas),
+        maximum=max(sigmas),
+        mean=mean,
+        stdev=math.sqrt(variance),
+        min_gap=float(worst_gap),
+    )

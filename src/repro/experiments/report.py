@@ -1,0 +1,58 @@
+"""Plain-text reports in the shape of the paper's Table 1."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.harness import CheckResult, ExperimentResult
+
+
+def _fmt(value: float | None, width: int = 8) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if value != value:  # NaN
+        return "nan".rjust(width)
+    return f"{value:.3f}".rjust(width)
+
+
+def format_games(results: Sequence[ExperimentResult]) -> str:
+    """An aligned table of adversary-game results: id, measured sigma,
+    the paper's envelope, and whether both sides hold."""
+    header = (
+        f"{'experiment':<12} {'sigma':>8} {'min_gap':>8} {'lower':>8} "
+        f"{'upper':>8} {'s':>7} {'ok':>3}  description"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        ok = "yes" if r.holds else "NO"
+        lines.append(
+            f"{r.experiment:<12} {_fmt(r.sigma)} {_fmt(r.min_gap)} "
+            f"{_fmt(r.lower_bound)} {_fmt(r.upper_bound)} "
+            f"{_fmt(r.storage_blowup, 7)} {ok:>3}  {r.description}"
+        )
+    return "\n".join(lines)
+
+
+def format_checks(results: Sequence[CheckResult]) -> str:
+    """An aligned table of closed-form checks."""
+    header = (
+        f"{'experiment':<12} {'measured':>10} {'expected':>10} "
+        f"{'tol':>8} {'ok':>3}  description"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        ok = "yes" if r.holds else "NO"
+        lines.append(
+            f"{r.experiment:<12} {r.measured:>10.3f} {r.expected:>10.3f} "
+            f"{r.tolerance:>8.2f} {ok:>3}  {r.description}"
+        )
+    return "\n".join(lines)
+
+
+def failures(
+    games: Iterable[ExperimentResult], checks: Iterable[CheckResult]
+) -> list[str]:
+    """Descriptions of every record whose bound did not hold."""
+    bad = [g.description for g in games if not g.holds]
+    bad += [c.description for c in checks if not c.holds]
+    return bad

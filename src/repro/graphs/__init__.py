@@ -1,0 +1,67 @@
+"""Graph substrates: interfaces, concrete families, and traversal."""
+
+from repro.graphs.adjacency import AdjacencyGraph, subgraph
+from repro.graphs.base import FiniteGraph, Graph
+from repro.graphs.directed import DirectedAdjacencyGraph, random_hyperlink_graph
+from repro.graphs.diagonal import (
+    DiagonalGridGraph,
+    InfiniteDiagonalGridGraph,
+    chebyshev_distance,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    random_geometric_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.grid import GridGraph, InfiniteGridGraph, l1_distance
+from repro.graphs.traversal import (
+    bfs_distances,
+    bfs_spanning_tree,
+    depth_first_circuit,
+    eccentricity,
+    is_connected,
+    nearest_matching,
+    shortest_path,
+)
+from repro.graphs.tree import CompleteTree, tree_size
+
+__all__ = [
+    "AdjacencyGraph",
+    "CompleteTree",
+    "DiagonalGridGraph",
+    "DirectedAdjacencyGraph",
+    "FiniteGraph",
+    "Graph",
+    "GridGraph",
+    "InfiniteDiagonalGridGraph",
+    "InfiniteGridGraph",
+    "bfs_distances",
+    "bfs_spanning_tree",
+    "chebyshev_distance",
+    "complete_graph",
+    "cycle_graph",
+    "depth_first_circuit",
+    "eccentricity",
+    "hypercube_graph",
+    "is_connected",
+    "l1_distance",
+    "lollipop_graph",
+    "nearest_matching",
+    "path_graph",
+    "random_geometric_graph",
+    "random_hyperlink_graph",
+    "random_regular_graph",
+    "random_tree",
+    "shortest_path",
+    "star_graph",
+    "subgraph",
+    "torus_graph",
+    "tree_size",
+]

@@ -1,0 +1,110 @@
+"""Explicit undirected graphs stored as adjacency sets.
+
+This is the workhorse representation for the paper's "general graphs"
+(Section 4): arbitrary connected graphs handed to the radius
+machinery, the BALL COVER solvers, and the compact-neighborhood
+blockings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import GraphError
+from repro.graphs.base import FiniteGraph
+from repro.typing import Vertex
+
+
+class AdjacencyGraph(FiniteGraph):
+    """A finite undirected graph with explicit adjacency sets.
+
+    Vertices are arbitrary hashables. Self-loops are rejected (the
+    paper's searching model walks simple edges); parallel edges are
+    meaningless in a set representation.
+    """
+
+    def __init__(self, vertices: Iterable[Vertex] = ()) -> None:
+        self._adj: dict[Vertex, set[Vertex]] = {}
+        for v in vertices:
+            self.add_vertex(v)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Vertex, Vertex]],
+        vertices: Iterable[Vertex] = (),
+    ) -> "AdjacencyGraph":
+        """Build a graph from an edge list (plus optional isolated vertices)."""
+        graph = cls(vertices)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Mapping[Vertex, Iterable[Vertex]]) -> "AdjacencyGraph":
+        """Build from a mapping ``vertex -> neighbors``.
+
+        The mapping may list each edge once or twice; symmetry is
+        enforced on construction.
+        """
+        graph = cls(adjacency.keys())
+        for u, nbrs in adjacency.items():
+            for v in nbrs:
+                graph.add_edge(u, v)
+        return graph
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add an isolated vertex (no-op if already present)."""
+        self._adj.setdefault(vertex, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} is not allowed")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    # -- Graph interface -------------------------------------------------
+
+    def neighbors(self, vertex: Vertex) -> frozenset[Vertex]:
+        try:
+            return frozenset(self._adj[vertex])
+        except KeyError:
+            raise GraphError(f"vertex {vertex!r} is not in the graph") from None
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._adj
+
+    def degree(self, vertex: Vertex) -> int:
+        try:
+            return len(self._adj[vertex])
+        except KeyError:
+            raise GraphError(f"vertex {vertex!r} is not in the graph") from None
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def __repr__(self) -> str:
+        return f"AdjacencyGraph(n={len(self)}, m={self.num_edges()})"
+
+
+def subgraph(graph: FiniteGraph, keep: Iterable[Vertex]) -> AdjacencyGraph:
+    """The subgraph of ``graph`` induced on the vertex set ``keep``."""
+    keep_set = set(keep)
+    result = AdjacencyGraph(keep_set)
+    for u in keep_set:
+        for v in graph.neighbors(u):
+            if v in keep_set:
+                result.add_edge(u, v)
+    return result

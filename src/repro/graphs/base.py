@@ -1,0 +1,75 @@
+"""Graph interfaces.
+
+Two tiers:
+
+* :class:`Graph` — anything with a neighbor relation. This is all the
+  search engine needs, so implicit *infinite* graphs (the paper's
+  unbounded grid graphs) plug in directly; they are never enumerated.
+* :class:`FiniteGraph` — adds vertex enumeration, which the analysis
+  layer (radii, ball covers, Steiner trees) requires.
+
+All graphs are undirected (Section 1: "we assume that all graphs are
+undirected"); ``neighbors`` must be symmetric. Explicit implementations
+validate this; implicit ones guarantee it by construction.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator
+
+from repro.typing import Vertex
+
+
+class Graph(abc.ABC):
+    """An undirected graph given by its neighbor relation."""
+
+    @abc.abstractmethod
+    def neighbors(self, vertex: Vertex) -> Iterable[Vertex]:
+        """All vertices adjacent to ``vertex``.
+
+        Raises :class:`repro.errors.GraphError` if ``vertex`` is not in
+        the graph.
+        """
+
+    @abc.abstractmethod
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Whether ``vertex`` belongs to the graph."""
+
+    def degree(self, vertex: Vertex) -> int:
+        """Number of neighbors of ``vertex``."""
+        return sum(1 for _ in self.neighbors(vertex))
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        return self.has_vertex(u) and any(w == v for w in self.neighbors(u))
+
+
+class FiniteGraph(Graph):
+    """A graph whose vertex set can be enumerated."""
+
+    @abc.abstractmethod
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over every vertex (each exactly once)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of vertices, the paper's ``n``."""
+
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(self.degree(v) for v in self.vertices()) // 2
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        """Iterate over undirected edges, each reported once.
+
+        Requires vertices to be mutually comparable or hashable; edges
+        are deduplicated by id-pair using a visited set, so no ordering
+        is assumed.
+        """
+        seen: set[Vertex] = set()
+        for u in self.vertices():
+            seen.add(u)
+            for v in self.neighbors(u):
+                if v not in seen:
+                    yield (u, v)

@@ -1,0 +1,139 @@
+"""Directed graphs (Conclusions, open question 5).
+
+The paper assumes undirected graphs but flags hypertext and
+object-oriented databases as naturally *directed* applications. The
+searching engine only consumes a neighbor relation, so a directed
+graph plugs straight in — the pathfront may only move along out-edges.
+None of the paper's bounds are proven for this setting; the library
+supplies the substrate so the question can be explored empirically
+(see ``benchmarks/bench_open_questions.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import GraphError
+from repro.graphs.base import FiniteGraph
+from repro.typing import Vertex
+
+
+class DirectedAdjacencyGraph(FiniteGraph):
+    """A finite directed graph; ``neighbors`` are *out*-neighbors.
+
+    The searching game moves along out-edges only. ``in_neighbors`` and
+    :meth:`reversed_graph` support analyses that need the transpose.
+    """
+
+    def __init__(self, vertices: Iterable[Vertex] = ()) -> None:
+        self._out: dict[Vertex, set[Vertex]] = {}
+        self._in: dict[Vertex, set[Vertex]] = {}
+        for v in vertices:
+            self.add_vertex(v)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Vertex, Vertex]],
+        vertices: Iterable[Vertex] = (),
+    ) -> "DirectedAdjacencyGraph":
+        graph = cls(vertices)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        self._out.setdefault(vertex, set())
+        self._in.setdefault(vertex, set())
+
+    def add_edge(self, src: Vertex, dst: Vertex) -> None:
+        """Add the arc ``src -> dst``."""
+        if src == dst:
+            raise GraphError(f"self-loop on {src!r} is not allowed")
+        self.add_vertex(src)
+        self.add_vertex(dst)
+        self._out[src].add(dst)
+        self._in[dst].add(src)
+
+    # -- Graph interface ---------------------------------------------------
+
+    def neighbors(self, vertex: Vertex) -> frozenset[Vertex]:
+        try:
+            return frozenset(self._out[vertex])
+        except KeyError:
+            raise GraphError(f"vertex {vertex!r} is not in the graph") from None
+
+    def in_neighbors(self, vertex: Vertex) -> frozenset[Vertex]:
+        try:
+            return frozenset(self._in[vertex])
+        except KeyError:
+            raise GraphError(f"vertex {vertex!r} is not in the graph") from None
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._out
+
+    def has_edge(self, src: Vertex, dst: Vertex) -> bool:
+        return src in self._out and dst in self._out[src]
+
+    def out_degree(self, vertex: Vertex) -> int:
+        return len(self.neighbors(vertex))
+
+    def in_degree(self, vertex: Vertex) -> int:
+        return len(self.in_neighbors(vertex))
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._out)
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def num_edges(self) -> int:
+        """Number of arcs."""
+        return sum(len(nbrs) for nbrs in self._out.values())
+
+    def reversed_graph(self) -> "DirectedAdjacencyGraph":
+        """The transpose: every arc flipped."""
+        graph = DirectedAdjacencyGraph(self._out)
+        for u, nbrs in self._out.items():
+            for v in nbrs:
+                graph.add_edge(v, u)
+        return graph
+
+    def as_undirected(self):
+        """Forget directions (the paper's setting) — for comparing the
+        directed game against the undirected bounds on the same data."""
+        from repro.graphs.adjacency import AdjacencyGraph
+
+        graph = AdjacencyGraph(self._out)
+        for u, nbrs in self._out.items():
+            for v in nbrs:
+                graph.add_edge(u, v)
+        return graph
+
+    def __repr__(self) -> str:
+        return f"DirectedAdjacencyGraph(n={len(self)}, arcs={self.num_edges()})"
+
+
+def random_hyperlink_graph(
+    n: int, out_degree: int, seed: int
+) -> DirectedAdjacencyGraph:
+    """A synthetic hypertext: every page links to ``out_degree`` random
+    others, plus a back-spine ``i -> i-1`` so every page can reach (and
+    be reached from) page 0 — the searching game never dead-ends."""
+    import random as _random
+
+    if n < 2:
+        raise GraphError(f"n must be >= 2, got {n}")
+    if out_degree < 1:
+        raise GraphError(f"out_degree must be >= 1, got {out_degree}")
+    rng = _random.Random(seed)
+    graph = DirectedAdjacencyGraph(range(n))
+    for v in range(1, n):
+        graph.add_edge(v, v - 1)
+        graph.add_edge(v - 1, v)
+    for v in range(n):
+        for _ in range(out_degree):
+            target = rng.randrange(n)
+            if target != v:
+                graph.add_edge(v, target)
+    return graph

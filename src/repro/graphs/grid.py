@@ -1,0 +1,124 @@
+"""d-dimensional grid graphs (Section 6 of the paper).
+
+The paper's grid graph has vertex set ``Z^d`` and an edge between
+points at L1-distance exactly 1 (axis moves only). We provide:
+
+* :class:`InfiniteGridGraph` — the paper's object itself, implicit and
+  unbounded; usable by the search engine and by implicit blockings.
+* :class:`GridGraph` — a finite axis-aligned box, enumerable, for the
+  analysis layer (radii, ball covers) and for bounded experiments.
+
+Coordinates are ``tuple[int, ...]`` of length ``d``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from repro.errors import GraphError
+from repro.graphs.base import FiniteGraph, Graph
+from repro.typing import Coord, Vertex
+
+
+def _axis_moves(coord: Coord) -> Iterator[Coord]:
+    """All lattice points at L1-distance 1 from ``coord``."""
+    for i in range(len(coord)):
+        for delta in (-1, 1):
+            yield coord[:i] + (coord[i] + delta,) + coord[i + 1 :]
+
+
+def _is_coord(vertex: Vertex, dim: int) -> bool:
+    return (
+        isinstance(vertex, tuple)
+        and len(vertex) == dim
+        and all(isinstance(c, int) for c in vertex)
+    )
+
+
+class InfiniteGridGraph(Graph):
+    """The infinite grid graph on ``Z^d`` with unit axis moves."""
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise GraphError(f"dimension must be >= 1, got {dim}")
+        self._dim = dim
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def neighbors(self, vertex: Vertex) -> list[Coord]:
+        self._check(vertex)
+        return list(_axis_moves(vertex))
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return _is_coord(vertex, self._dim)
+
+    def degree(self, vertex: Vertex) -> int:
+        self._check(vertex)
+        return 2 * self._dim
+
+    def _check(self, vertex: Vertex) -> None:
+        if not self.has_vertex(vertex):
+            raise GraphError(
+                f"{vertex!r} is not a {self._dim}-dimensional integer coordinate"
+            )
+
+    def __repr__(self) -> str:
+        return f"InfiniteGridGraph(dim={self._dim})"
+
+
+class GridGraph(FiniteGraph):
+    """A finite grid graph on the box ``[0, shape[0]) x ... x [0, shape[d-1])``."""
+
+    def __init__(self, shape: Sequence[int]) -> None:
+        if not shape:
+            raise GraphError("shape must have at least one dimension")
+        if any(extent < 1 for extent in shape):
+            raise GraphError(f"all extents must be >= 1, got {tuple(shape)}")
+        self._shape = tuple(int(extent) for extent in shape)
+        self._dim = len(self._shape)
+        self._size = 1
+        for extent in self._shape:
+            self._size *= extent
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def neighbors(self, vertex: Vertex) -> list[Coord]:
+        self._check(vertex)
+        return [c for c in _axis_moves(vertex) if self._inside(c)]
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return _is_coord(vertex, self._dim) and self._inside(vertex)
+
+    def vertices(self) -> Iterator[Coord]:
+        return itertools.product(*(range(extent) for extent in self._shape))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def center(self) -> Coord:
+        """The (floor-)central vertex of the box."""
+        return tuple(extent // 2 for extent in self._shape)
+
+    def _inside(self, coord: Coord) -> bool:
+        return all(0 <= c < extent for c, extent in zip(coord, self._shape))
+
+    def _check(self, vertex: Vertex) -> None:
+        if not self.has_vertex(vertex):
+            raise GraphError(f"{vertex!r} is not inside the grid {self._shape}")
+
+    def __repr__(self) -> str:
+        return f"GridGraph(shape={self._shape})"
+
+
+def l1_distance(u: Coord, v: Coord) -> int:
+    """Manhattan distance — the graph distance in a (full-box) grid graph."""
+    return sum(abs(a - b) for a, b in zip(u, v))

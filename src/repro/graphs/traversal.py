@@ -1,0 +1,185 @@
+"""Graph traversal algorithms used throughout the library.
+
+Breadth-first machinery (distances, balls, nearest-target searches),
+spanning trees, and the paper's *depth-first circuit* (Definition 6): a
+closed walk traversing every tree edge exactly twice, the backbone of
+the Lemma 9 and Lemma 11/12 adversary tours.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import GraphError
+from repro.graphs.base import FiniteGraph, Graph
+from repro.typing import Vertex
+
+
+def bfs_distances(
+    graph: Graph,
+    source: Vertex,
+    max_radius: int | None = None,
+    max_vertices: int | None = None,
+) -> dict[Vertex, int]:
+    """Distances from ``source`` by breadth-first search.
+
+    Args:
+        graph: the graph to search (may be infinite if bounds are given).
+        source: start vertex.
+        max_radius: stop expanding past this distance (inclusive).
+        max_vertices: stop after this many vertices have been settled.
+            At least one bound is required for infinite graphs.
+
+    Returns:
+        Mapping of reached vertices to their distance from ``source``,
+        in nondecreasing distance order (dicts preserve insertion
+        order, which callers rely on for compact-neighborhood cuts).
+    """
+    if not graph.has_vertex(source):
+        raise GraphError(f"source {source!r} is not in the graph")
+    distances: dict[Vertex, int] = {source: 0}
+    queue: deque[Vertex] = deque([source])
+    while queue:
+        if max_vertices is not None and len(distances) >= max_vertices:
+            break
+        u = queue.popleft()
+        du = distances[u]
+        if max_radius is not None and du >= max_radius:
+            continue
+        for v in graph.neighbors(u):
+            if v not in distances:
+                distances[v] = du + 1
+                queue.append(v)
+    return distances
+
+
+def shortest_path(graph: Graph, source: Vertex, target: Vertex) -> list[Vertex]:
+    """A shortest path between two vertices (inclusive of both ends)."""
+    if not graph.has_vertex(target):
+        raise GraphError(f"target {target!r} is not in the graph")
+    if source == target:
+        return [source]
+    parents: dict[Vertex, Vertex] = {source: source}
+    queue: deque[Vertex] = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in parents:
+                parents[v] = u
+                if v == target:
+                    path = [v]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(v)
+    raise GraphError(f"no path from {source!r} to {target!r}")
+
+
+def nearest_matching(
+    graph: Graph,
+    source: Vertex,
+    predicate: Callable[[Vertex], bool],
+    max_radius: int | None = None,
+) -> list[Vertex] | None:
+    """Shortest path from ``source`` to the nearest vertex satisfying
+    ``predicate`` (the path includes both endpoints; a length-1 path
+    means the source itself matches).
+
+    Returns ``None`` if no matching vertex exists within ``max_radius``
+    (or at all, for finite graphs).
+    """
+    if predicate(source):
+        return [source]
+    parents: dict[Vertex, Vertex] = {source: source}
+    depths: dict[Vertex, int] = {source: 0}
+    queue: deque[Vertex] = deque([source])
+    while queue:
+        u = queue.popleft()
+        if max_radius is not None and depths[u] >= max_radius:
+            continue
+        for v in graph.neighbors(u):
+            if v in parents:
+                continue
+            parents[v] = u
+            depths[v] = depths[u] + 1
+            if predicate(v):
+                path = [v]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(v)
+    return None
+
+
+def is_connected(graph: FiniteGraph) -> bool:
+    """Whether a finite graph is connected (vacuously true when empty)."""
+    n = len(graph)
+    if n == 0:
+        return True
+    start = next(iter(graph.vertices()))
+    return len(bfs_distances(graph, start)) == n
+
+
+def bfs_spanning_tree(graph: FiniteGraph, root: Vertex) -> dict[Vertex, list[Vertex]]:
+    """A BFS spanning tree of the component of ``root``.
+
+    Returns children lists: ``tree[u]`` are the children of ``u``. Every
+    reached vertex appears as a key (leaves map to empty lists).
+    """
+    if not graph.has_vertex(root):
+        raise GraphError(f"root {root!r} is not in the graph")
+    tree: dict[Vertex, list[Vertex]] = {root: []}
+    queue: deque[Vertex] = deque([root])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in tree:
+                tree[v] = []
+                tree[u].append(v)
+                queue.append(v)
+    return tree
+
+
+def depth_first_circuit(
+    tree: Mapping[Vertex, Iterable[Vertex]], root: Vertex
+) -> list[Vertex]:
+    """The paper's depth-first circuit of a tree (Definition 6).
+
+    A closed walk starting and ending at ``root`` that traverses every
+    tree edge exactly twice (once in each direction). For a tree with
+    ``n`` vertices the walk has ``2(n - 1)`` steps, i.e. ``2n - 1``
+    vertices including the repeated visits.
+
+    Args:
+        tree: children lists as produced by :func:`bfs_spanning_tree`.
+        root: the start vertex.
+    """
+    if root not in tree:
+        raise GraphError(f"root {root!r} is not in the tree")
+    circuit: list[Vertex] = []
+    # Iterative Euler tour: (vertex, iterator over children, parent).
+    stack: list[tuple[Vertex, object, Vertex | None]] = [
+        (root, iter(tree[root]), None)
+    ]
+    circuit.append(root)
+    while stack:
+        vertex, children, parent = stack[-1]
+        advanced = False
+        for child in children:
+            circuit.append(child)
+            stack.append((child, iter(tree.get(child, ())), vertex))
+            advanced = True
+            break
+        if not advanced:
+            stack.pop()
+            if parent is not None:
+                circuit.append(parent)
+    return circuit
+
+
+def eccentricity(graph: FiniteGraph, vertex: Vertex) -> int:
+    """Maximum distance from ``vertex`` to any vertex in its component."""
+    return max(bfs_distances(graph, vertex).values())

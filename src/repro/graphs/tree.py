@@ -1,0 +1,176 @@
+"""Complete d-ary trees (Section 5 of the paper).
+
+A complete d-ary tree of height ``h`` has every internal vertex with
+exactly ``d`` children and every leaf at depth ``h``; it contains
+``(d^(h+1) - 1) / (d - 1)`` vertices. Vertices are represented by
+level-order integer indices (the classic heap layout generalized to
+arity ``d``):
+
+* root is ``0``,
+* children of ``v`` are ``d*v + 1 .. d*v + d``,
+* parent of ``v`` is ``(v - 1) // d``.
+
+The representation is implicit — neighbors are computed arithmetically
+— so trees far larger than memory cost nothing to "store", exactly
+matching the external-searching setting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import GraphError
+from repro.graphs.base import FiniteGraph
+from repro.typing import Vertex
+
+
+def tree_size(arity: int, height: int) -> int:
+    """Number of vertices in a complete ``arity``-ary tree of ``height``."""
+    if arity < 2:
+        raise GraphError(f"arity must be >= 2, got {arity}")
+    if height < 0:
+        raise GraphError(f"height must be >= 0, got {height}")
+    return (arity ** (height + 1) - 1) // (arity - 1)
+
+
+class CompleteTree(FiniteGraph):
+    """A complete d-ary tree of the given height, as an undirected graph."""
+
+    def __init__(self, arity: int, height: int) -> None:
+        self._arity = arity
+        self._height = height
+        self._size = tree_size(arity, height)
+        # Index of the first leaf; every v >= this is a leaf.
+        self._first_leaf = tree_size(arity, height - 1) if height > 0 else 0
+
+    # -- tree structure ----------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """Branching factor ``d``."""
+        return self._arity
+
+    @property
+    def height(self) -> int:
+        """Height ``h`` (root has depth 0, leaves depth ``h``)."""
+        return self._height
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        """Vertex count as a plain int.
+
+        Unlike ``len()``, this works for trees whose size exceeds the
+        platform ``ssize_t`` (implicit trees of height in the hundreds
+        are perfectly usable — only enumeration is off the table).
+        """
+        return self._size
+
+    def parent(self, vertex: int) -> int:
+        """The parent of ``vertex``; raises on the root."""
+        self._check(vertex)
+        if vertex == 0:
+            raise GraphError("the root has no parent")
+        return (vertex - 1) // self._arity
+
+    def children(self, vertex: int) -> list[int]:
+        """The children of ``vertex`` (empty for leaves)."""
+        self._check(vertex)
+        if self.is_leaf(vertex):
+            return []
+        first = self._arity * vertex + 1
+        return list(range(first, first + self._arity))
+
+    def is_leaf(self, vertex: int) -> bool:
+        self._check(vertex)
+        return vertex >= self._first_leaf
+
+    def depth(self, vertex: int) -> int:
+        """Distance from the root to ``vertex``."""
+        self._check(vertex)
+        depth = 0
+        v = vertex
+        while v != 0:
+            v = (v - 1) // self._arity
+            depth += 1
+        return depth
+
+    def ancestor_at_depth(self, vertex: int, depth: int) -> int:
+        """The ancestor of ``vertex`` at the given (smaller) depth."""
+        current = self.depth(vertex)
+        if depth > current or depth < 0:
+            raise GraphError(
+                f"vertex {vertex} has depth {current}; no ancestor at depth {depth}"
+            )
+        v = vertex
+        for _ in range(current - depth):
+            v = (v - 1) // self._arity
+        return v
+
+    def leaves(self) -> Iterator[int]:
+        """Iterate over all leaves in index order."""
+        return iter(range(self._first_leaf, self._size))
+
+    def path_to_root(self, vertex: int) -> list[int]:
+        """The vertex sequence from ``vertex`` up to and including the root."""
+        self._check(vertex)
+        path = [vertex]
+        v = vertex
+        while v != 0:
+            v = (v - 1) // self._arity
+            path.append(v)
+        return path
+
+    def distance(self, u: int, v: int) -> int:
+        """Tree distance between two vertices (via their LCA)."""
+        self._check(u)
+        self._check(v)
+        du, dv = self.depth(u), self.depth(v)
+        dist = 0
+        while du > dv:
+            u = (u - 1) // self._arity
+            du -= 1
+            dist += 1
+        while dv > du:
+            v = (v - 1) // self._arity
+            dv -= 1
+            dist += 1
+        while u != v:
+            u = (u - 1) // self._arity
+            v = (v - 1) // self._arity
+            dist += 2
+        return dist
+
+    # -- Graph interface -----------------------------------------------------
+
+    def neighbors(self, vertex: Vertex) -> list[int]:
+        self._check(vertex)
+        nbrs = self.children(vertex)
+        if vertex != 0:
+            nbrs.append((vertex - 1) // self._arity)
+        return nbrs
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return isinstance(vertex, int) and 0 <= vertex < self._size
+
+    def degree(self, vertex: Vertex) -> int:
+        self._check(vertex)
+        if vertex == 0:
+            return 0 if self._height == 0 else self._arity
+        return 1 if self.is_leaf(vertex) else self._arity + 1
+
+    def vertices(self) -> Iterator[int]:
+        return iter(range(self._size))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"CompleteTree(arity={self._arity}, height={self._height}, n={self._size})"
+
+    def _check(self, vertex: Vertex) -> None:
+        if not self.has_vertex(vertex):
+            raise GraphError(f"vertex {vertex!r} is not in the tree")

@@ -1,0 +1,48 @@
+"""Paging strategies: eviction disciplines, off-line paging, laziness."""
+
+from repro.paging.belady import belady_trace, competitive_ratio
+from repro.paging.eviction import (
+    EvictAllPolicy,
+    EvictionPolicy,
+    FifoCopiesEviction,
+    LruEviction,
+    default_eviction,
+)
+from repro.paging.marking import MarkingEviction
+from repro.paging.optimal import optimal_offline_faults, policy_optimality_gap
+from repro.paging.lazy import (
+    Op,
+    OpKind,
+    count_reads,
+    flush,
+    is_lazy,
+    lazify,
+    read,
+    schedule_from_trace,
+    validate_schedule,
+)
+from repro.paging.offline import OfflineWindowPolicy, path_windows_blocking
+
+__all__ = [
+    "EvictAllPolicy",
+    "belady_trace",
+    "competitive_ratio",
+    "EvictionPolicy",
+    "FifoCopiesEviction",
+    "LruEviction",
+    "MarkingEviction",
+    "optimal_offline_faults",
+    "policy_optimality_gap",
+    "Op",
+    "OpKind",
+    "OfflineWindowPolicy",
+    "count_reads",
+    "default_eviction",
+    "flush",
+    "is_lazy",
+    "lazify",
+    "path_windows_blocking",
+    "read",
+    "schedule_from_trace",
+    "validate_schedule",
+]

@@ -1,0 +1,107 @@
+"""Eviction policies: how memory makes room for an incoming block.
+
+The model (Section 2, item 5) says that once memory is full, ``B``
+elements must be flushed to admit a new block — whole resident blocks
+in the weak model, arbitrary copies in the strong model. The paper's
+algorithm proofs use two disciplines, both provided here:
+
+* "replacing whatever else is in the memory" (Lemmas 13, 17, Thm 4) —
+  :class:`EvictAllPolicy`;
+* "retain block ``B_{i-1}``" / keep the block being walked plus the new
+  one (Lemmas 20, 22, 26) — exactly what :class:`LruEviction` does,
+  since the engine touches a block every time the pathfront visits one
+  of its resident vertices.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.block import Block
+from repro.core.memory import Memory, StrongMemory, WeakMemory
+from repro.core.model import ModelParams, PagingModel
+from repro.errors import PagingError
+
+
+class EvictionPolicy(abc.ABC):
+    """Frees enough memory for ``incoming`` before it is loaded."""
+
+    @abc.abstractmethod
+    def make_room(self, memory: Memory, incoming: Block) -> None:
+        """Evict until ``memory.room_for(len(incoming))`` holds."""
+
+    def reset(self) -> None:
+        """Clear any per-search state (default: stateless)."""
+
+
+class EvictAllPolicy(EvictionPolicy):
+    """Flush everything whenever anything must go.
+
+    The paper's simplest discipline: its ``M = B``-style proofs
+    "replace whatever else is in the memory". Works in both models.
+    """
+
+    def make_room(self, memory: Memory, incoming: Block) -> None:
+        if memory.room_for(len(incoming)):
+            return
+        if isinstance(memory, WeakMemory):
+            for block_id in memory.resident_blocks():
+                memory.evict_block(block_id)
+        elif isinstance(memory, StrongMemory):
+            memory.evict_all()
+        if not memory.room_for(len(incoming)):
+            raise PagingError(
+                f"block of {len(incoming)} copies cannot fit in M={memory.capacity}"
+            )
+
+
+class LruEviction(EvictionPolicy):
+    """Weak model: flush least-recently-used blocks until the block fits.
+
+    Because the engine touches a resident block whenever the pathfront
+    stands on one of its vertices, LRU retains exactly the blocks the
+    walk is using — the behaviour the grid and tree proofs rely on.
+    """
+
+    def make_room(self, memory: Memory, incoming: Block) -> None:
+        if not isinstance(memory, WeakMemory):
+            raise PagingError("LruEviction requires the weak (block-granular) model")
+        order = None
+        while not memory.room_for(len(incoming)):
+            if order is None:
+                order = memory.lru_order()
+            if not order:
+                raise PagingError(
+                    f"block of {len(incoming)} copies cannot fit in "
+                    f"M={memory.capacity}"
+                )
+            memory.evict_block(order.pop(0))
+
+
+class FifoCopiesEviction(EvictionPolicy):
+    """Strong model: flush the oldest copies, one at a time, until fit.
+
+    This is the discipline the strong model enables — freeing *partial*
+    blocks — and is what distinguishes it from any weak-model policy.
+    """
+
+    def make_room(self, memory: Memory, incoming: Block) -> None:
+        if not isinstance(memory, StrongMemory):
+            raise PagingError(
+                "FifoCopiesEviction requires the strong (copy-granular) model"
+            )
+        deficit = memory.occupancy + len(incoming) - memory.capacity
+        if deficit > 0:
+            if deficit > memory.occupancy:
+                raise PagingError(
+                    f"block of {len(incoming)} copies cannot fit in "
+                    f"M={memory.capacity}"
+                )
+            memory.evict_oldest(deficit)
+
+
+def default_eviction(params: ModelParams) -> EvictionPolicy:
+    """LRU for the weak model, FIFO copies for the strong model."""
+    if params.paging_model is PagingModel.WEAK:
+        return LruEviction()
+    return FifoCopiesEviction()

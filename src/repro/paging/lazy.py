@@ -1,0 +1,287 @@
+"""Theorem 1: lazy on-line weak pagers are optimal.
+
+The paper proves that any weak-model paging schedule can be rewritten,
+read by read, into a *lazy* schedule (reads happen only in response to
+page faults) without increasing the number of block reads. This module
+implements that rewriting as an executable transformation on explicit
+schedules, so the theorem can be checked empirically on arbitrary
+(including randomly generated) schedules.
+
+A schedule is a list of :class:`Op` — ``READ bid`` or ``FLUSH bid`` —
+each tagged with the path position *before* which it executes. A
+schedule is *valid* for a path if memory capacity is never exceeded and
+every visited vertex is covered when visited.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.core.blocking import Blocking
+from repro.errors import PagingError
+from repro.typing import BlockId, Vertex
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    FLUSH = "flush"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One memory operation, executed before visiting ``path[position]``.
+
+    Operations at the same position execute in list order.
+    """
+
+    position: int
+    kind: OpKind
+    block_id: BlockId
+
+
+def read(position: int, block_id: BlockId) -> Op:
+    return Op(position, OpKind.READ, block_id)
+
+
+def flush(position: int, block_id: BlockId) -> Op:
+    return Op(position, OpKind.FLUSH, block_id)
+
+
+def _sorted_ops(schedule: Sequence[Op]) -> list[Op]:
+    """Stable sort by position (preserving same-position order)."""
+    return sorted(schedule, key=lambda op: op.position)
+
+
+def validate_schedule(
+    path: Sequence[Vertex],
+    blocking: Blocking,
+    memory_size: int,
+    schedule: Sequence[Op],
+) -> int:
+    """Check a schedule services the whole path within capacity.
+
+    Returns the number of READ operations. Raises
+    :class:`~repro.errors.PagingError` on a capacity overflow, a flush
+    of a non-resident block, or an uncovered visit.
+    """
+    ops = _sorted_ops(schedule)
+    resident: dict[BlockId, int] = {}
+    covered: dict[Vertex, int] = {}
+    occupancy = 0
+    reads = 0
+    op_index = 0
+    for position, vertex in enumerate(path):
+        while op_index < len(ops) and ops[op_index].position <= position:
+            op = ops[op_index]
+            op_index += 1
+            block = blocking.block(op.block_id)
+            if op.kind is OpKind.READ:
+                reads += 1
+                resident[op.block_id] = resident.get(op.block_id, 0) + 1
+                occupancy += len(block)
+                if occupancy > memory_size:
+                    raise PagingError(
+                        f"capacity exceeded at position {position}: "
+                        f"{occupancy} > {memory_size}"
+                    )
+                for v in block:
+                    covered[v] = covered.get(v, 0) + 1
+            else:
+                if resident.get(op.block_id, 0) == 0:
+                    raise PagingError(
+                        f"flush of non-resident block {op.block_id!r} at "
+                        f"position {position}"
+                    )
+                resident[op.block_id] -= 1
+                occupancy -= len(block)
+                for v in block:
+                    covered[v] -= 1
+        if covered.get(vertex, 0) <= 0:
+            raise PagingError(f"uncovered visit to {vertex!r} at position {position}")
+    return reads
+
+
+def _first_uncovered_visit(
+    path: Sequence[Vertex], blocking: Blocking, ops: Sequence[Op]
+) -> int | None:
+    """First path position whose visit is uncovered under ``ops``.
+
+    Tolerant simulation: coverage counts may go negative (used on
+    schedules with a read removed but its flush retained)."""
+    covered: dict[Vertex, int] = {}
+    op_index = 0
+    for position, vertex in enumerate(path):
+        while op_index < len(ops) and ops[op_index].position <= position:
+            op = ops[op_index]
+            op_index += 1
+            sign = 1 if op.kind is OpKind.READ else -1
+            for v in blocking.block(op.block_id):
+                covered[v] = covered.get(v, 0) + sign
+        if covered.get(vertex, 0) <= 0:
+            return position
+    return None
+
+
+def lazify(
+    path: Sequence[Vertex],
+    blocking: Blocking,
+    memory_size: int,
+    schedule: Sequence[Op],
+) -> list[Op]:
+    """Apply Theorem 1's rewriting until the schedule is lazy.
+
+    Repeatedly finds a READ that does not service a fault at its own
+    position and either deletes it (with its matching flush) when the
+    block is never used before being flushed, or postpones it to the
+    first position at which the block is used. The result is a valid
+    schedule with no more reads than the input, in which every read
+    happens at a position where the visited vertex was uncovered.
+    """
+    ops = _sorted_ops(schedule)
+    for _ in range(10 * len(ops) * (len(path) + 1) + 10):
+        victim = _find_non_fault_read(path, blocking, ops)
+        if victim is None:
+            validate_schedule(path, blocking, memory_size, ops)
+            return ops
+        ops = _rewrite_one(path, blocking, ops, victim)
+    raise PagingError("lazify failed to converge (schedule pathology)")
+
+
+def _find_non_fault_read(
+    path: Sequence[Vertex], blocking: Blocking, ops: list[Op]
+) -> int | None:
+    """Index of the first READ whose position's visit was already
+    covered without it (i.e. not fault-prompted), else ``None``.
+
+    A read is fault-prompted iff, at the moment it executes, the vertex
+    about to be visited at its position is uncovered and the read's
+    block contains it.
+    """
+    covered: dict[Vertex, int] = {}
+    op_index = 0
+    for position, vertex in enumerate(path):
+        while op_index < len(ops) and ops[op_index].position <= position:
+            op = ops[op_index]
+            block = blocking.block(op.block_id)
+            if op.kind is OpKind.READ:
+                needed = covered.get(vertex, 0) <= 0 and vertex in block
+                # A read placed at an earlier position than any remaining
+                # visit it could serve is non-fault-prompted if the visit
+                # at its own position is already covered or not in block.
+                if op.position == position and needed:
+                    pass  # fault-prompted: keep
+                else:
+                    return op_index
+                for v in block:
+                    covered[v] = covered.get(v, 0) + 1
+            else:
+                for v in block:
+                    covered[v] = covered.get(v, 0) - 1
+            op_index += 1
+    # Any trailing ops after the final position are trivially not
+    # fault-prompted reads.
+    while op_index < len(ops):
+        if ops[op_index].kind is OpKind.READ:
+            return op_index
+        op_index += 1
+    return None
+
+
+def _rewrite_one(
+    path: Sequence[Vertex], blocking: Blocking, ops: list[Op], victim: int
+) -> list[Op]:
+    """One step of the Theorem 1 rewriting applied to ``ops[victim]``.
+
+    Remove the read and see where the first uncovered visit appears:
+    nowhere before the read's matching flush means the read was never
+    needed (delete the read/flush pair); otherwise the read moves to
+    exactly that position, where it *is* fault-prompted. Either way the
+    read count never grows and progress is strictly monotone (the
+    failure position is strictly after the old read position, because
+    the read was not fault-prompted where it stood).
+    """
+    op = ops[victim]
+    # Find the matching flush: the first FLUSH of this block id after the
+    # victim that is not claimed by an intervening read of the same block.
+    depth = 0
+    flush_index = None
+    for i in range(victim + 1, len(ops)):
+        other = ops[i]
+        if other.block_id != op.block_id:
+            continue
+        if other.kind is OpKind.READ:
+            depth += 1
+        else:
+            if depth == 0:
+                flush_index = i
+                break
+            depth -= 1
+    flush_position = ops[flush_index].position if flush_index is not None else len(path)
+    without_read = ops[:victim] + ops[victim + 1 :]
+    needed_at = _first_uncovered_visit(path, blocking, without_read)
+    if needed_at is None or needed_at >= flush_position:
+        # Never needed while resident: delete the read and its flush.
+        doomed = {victim} if flush_index is None else {victim, flush_index}
+        return [o for i, o in enumerate(ops) if i not in doomed]
+    # Postpone the read to where it is first needed. Insert after every
+    # op at a position <= needed_at: same-position flushes run first,
+    # keeping peak occupancy minimal; the matching flush sits strictly
+    # later (needed_at < flush_position).
+    moved = replace(op, position=needed_at)
+    insert_at = len(without_read)
+    for i, other in enumerate(without_read):
+        if other.position > needed_at:
+            insert_at = i
+            break
+    return without_read[:insert_at] + [moved] + without_read[insert_at:]
+
+
+def count_reads(schedule: Sequence[Op]) -> int:
+    """Number of READ operations in a schedule."""
+    return sum(1 for op in schedule if op.kind is OpKind.READ)
+
+
+def is_lazy(
+    path: Sequence[Vertex], blocking: Blocking, schedule: Sequence[Op]
+) -> bool:
+    """Whether every read in the schedule is fault-prompted."""
+    return _find_non_fault_read(path, blocking, _sorted_ops(schedule)) is None
+
+
+def schedule_from_trace(
+    path: Sequence[Vertex], blocking: Blocking, trace
+) -> list[Op]:
+    """Reconstruct an explicit schedule from an engine trace.
+
+    The engine is lazy and reads exactly ``trace.block_reads`` in
+    order, one per fault; this function re-derives the fault positions
+    by replaying coverage, yielding an :class:`Op` list that
+    :func:`validate_schedule` and :func:`is_lazy` accept.
+
+    Evictions are omitted, so the reconstruction is exact only for runs
+    where nothing was evicted (memory held every block read — e.g.
+    ``M >= faults * B``); with eviction, a re-read of an evicted block
+    would desynchronize the replay, which is detected and reported.
+    """
+    ops: list[Op] = []
+    covered: dict[Vertex, int] = {}
+    reads = iter(trace.block_reads)
+    for position, vertex in enumerate(path):
+        if covered.get(vertex, 0) > 0:
+            continue
+        try:
+            bid = next(reads)
+        except StopIteration:
+            raise PagingError(
+                f"trace has too few reads: uncovered visit at {position}"
+            ) from None
+        ops.append(read(position, bid))
+        for v in blocking.block(bid):
+            covered[v] = covered.get(v, 0) + 1
+        if covered.get(vertex, 0) <= 0:
+            raise PagingError(
+                f"trace read {bid!r} does not cover the fault at {position}"
+            )
+    return ops

@@ -1,0 +1,71 @@
+"""The randomized marking algorithm (related work: Borodin et al. [4]).
+
+The paper situates itself next to competitive paging (Borodin, Irani,
+Raghavan, Schieber — access-graph paging with ``B = 1``) and closes by
+asking what competitive analysis would say about blocking (question 8).
+The classical randomized *marking* algorithm is the canonical
+competitive pager — ``2 H_k``-competitive against oblivious
+adversaries, vs LRU's ``k`` — so the library ships it as a third
+eviction discipline next to LRU and Belady MIN, letting the Q8
+benchmarks compare all three on the same traces.
+
+Mechanics (weak model): a block is *marked* while it has been used —
+loaded or touched by the pathfront — since the current phase began. On
+a fault with memory full, a uniformly random unmarked block is evicted;
+when every resident block is marked, a new phase begins and all marks
+clear. Marks are derived from the memory's use-clock, so pathfront
+touches (which the engine already reports to memory) count as uses
+without extra plumbing.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.block import Block
+from repro.core.memory import Memory, WeakMemory
+from repro.errors import PagingError
+from repro.paging.eviction import EvictionPolicy
+from repro.typing import BlockId
+
+
+class MarkingEviction(EvictionPolicy):
+    """Randomized marking eviction for the weak memory model.
+
+    Stateful across one search (the phase-start clock); seeded for
+    reproducibility.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._phase_start = 0
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._phase_start = 0
+
+    def make_room(self, memory: Memory, incoming: Block) -> None:
+        if not isinstance(memory, WeakMemory):
+            raise PagingError("MarkingEviction requires the weak model")
+        while not memory.room_for(len(incoming)):
+            resident = memory.resident_blocks()
+            if not resident:
+                raise PagingError(
+                    f"block of {len(incoming)} copies cannot fit in "
+                    f"M={memory.capacity}"
+                )
+            unmarked = sorted(
+                (
+                    bid
+                    for bid in resident
+                    if memory.last_used(bid) < self._phase_start
+                ),
+                key=repr,  # stable order for the seeded rng
+            )
+            if not unmarked:
+                # Every resident block was used this phase: start a new
+                # phase — everything becomes unmarked.
+                self._phase_start = memory.clock + 1
+                continue
+            memory.evict_block(self._rng.choice(unmarked))

@@ -1,0 +1,86 @@
+"""Off-line paging (Lemma 1).
+
+An off-line pager may inspect the entire path before choosing blocks.
+Lemma 1: with the blocking "all paths of length ``B - 1``" and the rule
+"at a fault, read the block holding the next ``B - 1`` steps of the
+path", a speed-up of at least ``B`` is always achieved — even when
+``B = M``.
+
+Two pieces:
+
+* :func:`path_windows_blocking` — the window blocks actually needed for one
+  concrete path: one block per window of ``B`` consecutive path
+  vertices. (The full Lemma 1 blocking contains *every* length-
+  ``(B-1)`` walk; see :mod:`repro.blockings.paths_blocking` for the
+  exhaustive version on tiny graphs.)
+* :class:`OfflineWindowPolicy` — the look-ahead block choice. It is fed
+  the path up front and tracks the pathfront's position, so at a fault
+  on position ``i`` it reads the window ``[i, i + B)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.blocking import Blocking, ExplicitBlocking
+from repro.core.memory import Memory
+from repro.core.policies import BlockChoicePolicy
+from repro.errors import PagingError
+from repro.typing import BlockId, Vertex
+
+
+def path_windows_blocking(
+    path: Sequence[Vertex], block_size: int, universe_size: int | None = None
+) -> ExplicitBlocking:
+    """One block per window of ``block_size`` consecutive path vertices.
+
+    Block ``("window", i)`` holds ``set(path[i : i + block_size])`` —
+    at most ``B`` distinct vertices even if the walk revisits some.
+    Every path position is the start of some window, so the off-line
+    policy below can always service a fault with a full look-ahead
+    block.
+    """
+    if not path:
+        raise PagingError("path must be non-empty")
+    blocks: dict[BlockId, set[Vertex]] = {}
+    for i in range(len(path)):
+        blocks[("window", i)] = set(path[i : i + block_size])
+    return ExplicitBlocking(block_size, blocks, universe_size=universe_size)
+
+
+class OfflineWindowPolicy(BlockChoicePolicy):
+    """Lemma 1's off-line rule: read the window starting at the fault.
+
+    The policy is stateful: it walks an internal cursor along the path
+    in lock-step with the engine. Faults arrive in path order, so the
+    cursor only ever advances.
+
+    Use with :class:`repro.paging.eviction.EvictAllPolicy` (Lemma 1's
+    own discipline). Under evict-all the fault vertex's first
+    occurrence at or past the cursor *is* the fault position (every
+    earlier occurrence would still be covered by the loaded window), so
+    the cursor scan recovers positions exactly even when the walk
+    revisits vertices. Other eviction policies may evict mid-window and
+    break that correspondence.
+    """
+
+    def __init__(self, path: Sequence[Vertex]) -> None:
+        self._path = list(path)
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def choose(self, vertex: Vertex, blocking: Blocking, memory: Memory) -> BlockId:
+        # Advance the cursor to the next path position holding `vertex`.
+        # The engine faults at most once per position, and positions of
+        # successive faults are nondecreasing.
+        while self._cursor < len(self._path) and self._path[self._cursor] != vertex:
+            self._cursor += 1
+        if self._cursor >= len(self._path):
+            raise PagingError(
+                f"fault on {vertex!r} beyond the end of the provided path"
+            )
+        block_id = ("window", self._cursor)
+        self._cursor += 1
+        return block_id

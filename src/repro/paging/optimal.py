@@ -1,0 +1,139 @@
+"""Exact off-line optimum for small instances (block choice included).
+
+Belady's MIN (:mod:`repro.paging.belady`) is optimal when ``s = 1`` —
+eviction is the only decision. With redundancy (``s > 1``) the pager
+*also* chooses which copy to read, and no simple greedy rule is known
+to be optimal (the gap the paper's question 1 circles). For small
+instances the true optimum is computable by memoized search over
+``(path position, resident block set)`` states; this module provides
+it, so the shipped on-line policies can be scored against the real
+off-line optimum on micro-benchmarks.
+
+State space is ``O(L * (#blocks choose M/B))`` — use only for tiny
+configurations (the guard refuses anything bigger than
+``max_states``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from repro.core.blocking import Blocking
+from repro.core.model import ModelParams
+from repro.errors import PagingError
+from repro.typing import BlockId, Vertex
+
+
+def optimal_offline_faults(
+    path: Sequence[Vertex],
+    blocking: Blocking,
+    params: ModelParams,
+    max_states: int = 2_000_000,
+) -> int:
+    """The minimum number of block reads any (lazy or not) weak-model
+    pager needs to service ``path``, minimizing over block choices and
+    evictions jointly.
+
+    Lazy schedules suffice for the optimum (Theorem 1), so the search
+    branches only at faults: over which candidate block to read, and
+    which resident blocks to flush to make room.
+    """
+    if not path:
+        return 0
+    block_ids: dict[BlockId, int] = {}
+    position_candidates: list[tuple[int, ...]] = []
+    sizes: list[int] = []
+    vertex_sets: list[frozenset[Vertex]] = []
+    for vertex in path:
+        candidates = blocking.blocks_for(vertex)
+        if not candidates:
+            raise PagingError(f"vertex {vertex!r} is not covered by the blocking")
+        indexed = []
+        for bid in candidates:
+            if bid not in block_ids:
+                block_ids[bid] = len(block_ids)
+                block = blocking.block(bid)
+                sizes.append(len(block))
+                vertex_sets.append(block.vertices)
+            indexed.append(block_ids[bid])
+        position_candidates.append(tuple(indexed))
+
+    memory_size = params.memory_size
+    budget = [max_states]
+
+    @lru_cache(maxsize=None)
+    def solve(position: int, resident: frozenset[int]) -> int:
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise PagingError(
+                "optimal_offline_faults state budget exceeded; "
+                "the instance is too large for exact search"
+            )
+        if position == len(path):
+            return 0
+        vertex = path[position]
+        if any(vertex in vertex_sets[b] for b in resident):
+            return solve(position + 1, resident)
+        best = None
+        for candidate in position_candidates[position]:
+            for kept in _eviction_options(
+                resident, sizes, memory_size - sizes[candidate]
+            ):
+                cost = 1 + solve(position + 1, kept | {candidate})
+                if best is None or cost < best:
+                    best = cost
+        assert best is not None
+        return best
+
+    try:
+        return solve(0, frozenset())
+    finally:
+        solve.cache_clear()
+
+
+def _eviction_options(
+    resident: frozenset[int], sizes: Sequence[int], capacity: int
+):
+    """All maximal subsets of ``resident`` fitting in ``capacity``.
+
+    Considering only maximal keep-sets is safe: keeping more blocks
+    never increases the optimal cost. Subsets are enumerated by
+    dropping blocks until the rest fits; for the tiny instances this
+    module targets, plain subset enumeration is fine.
+    """
+    if capacity < 0:
+        raise PagingError("block larger than memory")
+    members = sorted(resident)
+    total = sum(sizes[b] for b in members)
+    if total <= capacity:
+        yield frozenset(members)
+        return
+    seen: set[frozenset[int]] = set()
+    stack = [(frozenset(members), total)]
+    while stack:
+        current, weight = stack.pop()
+        if weight <= capacity:
+            # Maximal check: no dropped block could be re-added.
+            if current not in seen:
+                seen.add(current)
+                yield current
+            continue
+        for b in current:
+            smaller = current - {b}
+            if smaller not in seen:
+                stack.append((smaller, weight - sizes[b]))
+
+
+def policy_optimality_gap(
+    path: Sequence[Vertex],
+    blocking: Blocking,
+    params: ModelParams,
+    online_faults: int,
+    max_states: int = 2_000_000,
+) -> float:
+    """``online_faults / optimum`` (1.0 = the policy was optimal)."""
+    optimum = optimal_offline_faults(path, blocking, params, max_states)
+    if optimum == 0:
+        return 1.0 if online_faults == 0 else float("inf")
+    return online_faults / optimum

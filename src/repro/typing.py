@@ -1,0 +1,20 @@
+"""Shared type aliases.
+
+The library is generic over vertex identity: a vertex is any hashable
+value. Concrete substrates pick convenient representations —
+
+* general graphs use opaque hashables (often ``int`` or ``str``),
+* complete d-ary trees use level-order integer indices,
+* grid graphs use ``tuple[int, ...]`` coordinates.
+
+Block identifiers are likewise arbitrary hashables chosen by each
+blocking; callers should treat them as opaque tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+Vertex = Hashable
+BlockId = Hashable
+Coord = Tuple[int, ...]

@@ -1,0 +1,146 @@
+"""Workload generators: legal walks for the searching game.
+
+The paper's model traces *paths* through the graph (Section 2,
+assumption 7) — every workload here is a legal walk (consecutive
+vertices adjacent), ready for :meth:`repro.core.engine.Searcher.run_path`:
+
+* :func:`boustrophedon_scan` — the snake (row-major-with-turnarounds)
+  scan of a finite grid: what a flat-array matrix pass looks like as a
+  walk. The intro's "matrix algorithms" workload.
+* :func:`hilbert_scan` — the Hilbert space-filling curve on a
+  ``2^k x 2^k`` grid: the locality-preserving scan order, the natural
+  foil to row-major in the paper's Rosenberg discussion.
+* :func:`chained_queries` — random point-to-point navigations stitched
+  into one walk (index lookups, robot jobs, hypertext jumps).
+* :func:`pingpong_walk` — bounce along a fixed path segment, the
+  boundary-thrash microworkload.
+* :func:`tree_descents` — repeated root-to-leaf descents with returns,
+  the B-tree query pattern (Section 5's workload).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import GraphError
+from repro.graphs.base import FiniteGraph
+from repro.graphs.tree import CompleteTree
+from repro.graphs.traversal import shortest_path
+from repro.typing import Coord, Vertex
+
+
+def boustrophedon_scan(shape: Sequence[int]) -> list[Coord]:
+    """Snake scan of a 2-D grid: left-to-right, then right-to-left,
+    one row step between rows. Visits every cell exactly once and every
+    move is a grid edge."""
+    if len(shape) != 2:
+        raise GraphError(f"boustrophedon scan is 2-D; got shape {tuple(shape)}")
+    width, height = shape
+    if width < 1 or height < 1:
+        raise GraphError(f"extents must be >= 1, got {tuple(shape)}")
+    walk: list[Coord] = []
+    for y in range(height):
+        xs = range(width) if y % 2 == 0 else range(width - 1, -1, -1)
+        walk.extend((x, y) for x in xs)
+    return walk
+
+
+def hilbert_scan(order: int) -> list[Coord]:
+    """The Hilbert curve visiting every cell of a ``2^order`` square
+    grid; consecutive cells are grid-adjacent."""
+    if order < 1:
+        raise GraphError(f"order must be >= 1, got {order}")
+    side = 1 << order
+    walk: list[Coord] = []
+    for index in range(side * side):
+        walk.append(_hilbert_d2xy(side, index))
+    return walk
+
+
+def _hilbert_d2xy(side: int, index: int) -> Coord:
+    """Classic distance-to-coordinate conversion for the Hilbert curve."""
+    rx = ry = 0
+    x = y = 0
+    t = index
+    s = 1
+    while s < side:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return (x, y)
+
+
+def chained_queries(
+    graph: FiniteGraph, num_queries: int, seed: int, start: Vertex | None = None
+) -> list[Vertex]:
+    """Random targets connected by shortest paths — a query workload
+    expressed as one continuous walk."""
+    if num_queries < 0:
+        raise GraphError(f"num_queries must be >= 0, got {num_queries}")
+    vertices = list(graph.vertices())
+    if not vertices:
+        raise GraphError("graph has no vertices")
+    rng = random.Random(seed)
+    walk = [start if start is not None else vertices[0]]
+    for _ in range(num_queries):
+        target = rng.choice(vertices)
+        walk.extend(shortest_path(graph, walk[-1], target)[1:])
+    return walk
+
+
+def pingpong_walk(segment: Sequence[Vertex], bounces: int) -> list[Vertex]:
+    """Walk a path segment forward and backward ``bounces`` times.
+
+    The segment must be a legal path; the caller supplies it (e.g. a
+    shortest path straddling a block boundary)."""
+    if len(segment) < 2:
+        raise GraphError("segment needs at least two vertices")
+    if bounces < 1:
+        raise GraphError(f"bounces must be >= 1, got {bounces}")
+    forward = list(segment)
+    backward = forward[-2::-1]
+    walk = list(forward)
+    for i in range(bounces - 1):
+        walk.extend(backward if i % 2 == 0 else forward[1:])
+    return walk
+
+
+def tree_descents(
+    tree: CompleteTree, num_queries: int, seed: int
+) -> list[int]:
+    """Random root-to-leaf descents, climbing back between queries —
+    the index-lookup workload of Section 5."""
+    if num_queries < 1:
+        raise GraphError(f"num_queries must be >= 1, got {num_queries}")
+    rng = random.Random(seed)
+    walk = [tree.root]
+    for _ in range(num_queries):
+        v = tree.root
+        for _ in range(tree.height):
+            v = rng.choice(tree.children(v))
+            walk.append(v)
+        walk.extend(tree.path_to_root(v)[1:])
+    return walk
+
+
+def is_legal_walk(graph, walk: Sequence[Vertex]) -> bool:
+    """Whether consecutive vertices are adjacent (and all exist)."""
+    if not walk:
+        return True
+    if not graph.has_vertex(walk[0]):
+        return False
+    for a, b in zip(walk, walk[1:]):
+        if not graph.has_vertex(b):
+            return False
+        if b == a or not any(n == b for n in graph.neighbors(a)):
+            return False
+    return True

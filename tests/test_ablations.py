@@ -1,0 +1,102 @@
+"""Ablation runners and the worst-case-over-adversaries harness."""
+
+import pytest
+
+from repro import FirstBlockPolicy, ModelParams
+from repro.adversaries import GreedyUncoveredAdversary, RandomWalkAdversary
+from repro.blockings import contiguous_1d_blocking
+from repro.experiments import (
+    copies_ablation,
+    eviction_ablation,
+    model_ablation,
+    policy_ablation,
+    run_worst_case,
+)
+from repro.graphs import InfiniteGridGraph
+
+
+class TestEvictionAblation:
+    def test_lru_never_worse_than_evict_all(self):
+        results = eviction_ablation(num_steps=2_000)
+        assert results["lru"].faults <= results["evict-all"].faults
+        assert set(results) == {"evict-all", "lru", "marking"}
+
+    def test_all_traces_complete(self):
+        results = eviction_ablation(num_steps=1_000)
+        assert all(t.steps == 1_000 for t in results.values())
+
+
+class TestModelAblation:
+    def test_both_models_run(self):
+        results = model_ablation(num_steps=1_500)
+        assert results["weak-lru"].faults > 0
+        assert results["strong-fifo"].faults > 0
+
+    def test_models_comparable(self):
+        results = model_ablation(num_steps=2_000)
+        weak = results["weak-lru"].speedup
+        strong = results["strong-fifo"].speedup
+        assert weak == pytest.approx(strong, rel=0.6)
+
+
+class TestPolicyAblation:
+    def test_farthest_preserves_floor(self):
+        results = policy_ablation(num_steps=2_000)
+        assert results["farthest"].min_gap >= 2
+        # The naive rules give up the per-fault floor.
+        assert results["interior"].min_gap < results["farthest"].min_gap
+
+    def test_ranking(self):
+        results = policy_ablation(num_steps=2_000)
+        assert (
+            results["farthest"].speedup
+            >= results["interior"].speedup
+            >= results["first"].speedup * 0.8
+        )
+
+
+class TestCopiesAblation:
+    def test_two_copies_beat_one(self):
+        results = copies_ablation(copies_values=(1, 2), num_steps=2_000)
+        assert results[2].speedup > results[1].speedup
+
+    def test_diminishing_returns(self):
+        results = copies_ablation(copies_values=(2, 4), num_steps=2_000)
+        # Four copies are not even twice as good as two: the knee is at 2.
+        assert results[4].speedup < 2 * results[2].speedup
+
+
+class TestRunWorstCase:
+    def test_takes_minimum_sigma(self):
+        graph = InfiniteGridGraph(1)
+        B = 16
+        result = run_worst_case(
+            "X",
+            "1-D worst case",
+            graph,
+            contiguous_1d_blocking(B),
+            FirstBlockPolicy(),
+            ModelParams(B, 2 * B),
+            {
+                "random": RandomWalkAdversary(graph, (0,), seed=1),
+                "greedy": GreedyUncoveredAdversary(graph, (0,), max_radius=64),
+            },
+            2_000,
+            lower_bound=float(B) / 2,
+        )
+        assert result.params["adversary"] == "greedy"
+        assert result.holds
+
+    def test_requires_an_adversary(self):
+        graph = InfiniteGridGraph(1)
+        with pytest.raises(AssertionError):
+            run_worst_case(
+                "X",
+                "none",
+                graph,
+                contiguous_1d_blocking(4),
+                FirstBlockPolicy(),
+                ModelParams(4, 8),
+                {},
+                10,
+            )

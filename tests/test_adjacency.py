@@ -1,0 +1,94 @@
+"""AdjacencyGraph construction and queries."""
+
+import pytest
+
+from repro import AdjacencyGraph, GraphError
+from repro.graphs import subgraph
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3)])
+        assert len(g) == 3
+        assert g.num_edges() == 2
+
+    def test_from_edges_with_isolated(self):
+        g = AdjacencyGraph.from_edges([(1, 2)], vertices=[9])
+        assert g.has_vertex(9)
+        assert g.degree(9) == 0
+
+    def test_from_adjacency_symmetrizes(self):
+        g = AdjacencyGraph.from_adjacency({1: [2], 2: [], 3: [1]})
+        assert g.has_edge(2, 1)
+        assert g.has_edge(1, 3)
+
+    def test_self_loop_rejected(self):
+        g = AdjacencyGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_duplicate_edges_collapse(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges() == 1
+
+    def test_add_vertex_idempotent(self):
+        g = AdjacencyGraph()
+        g.add_vertex("a")
+        g.add_vertex("a")
+        assert len(g) == 1
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (1, 3)])
+        assert g.neighbors(1) == frozenset({2, 3})
+
+    def test_neighbors_symmetric(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        assert 1 in g.neighbors(2)
+        assert 2 in g.neighbors(1)
+
+    def test_unknown_vertex_neighbors_raises(self):
+        with pytest.raises(GraphError):
+            AdjacencyGraph().neighbors(5)
+
+    def test_unknown_vertex_degree_raises(self):
+        with pytest.raises(GraphError):
+            AdjacencyGraph().degree(5)
+
+    def test_degree(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.degree(2) == 1
+
+    def test_has_edge(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(1, 3)
+        assert not g.has_edge(7, 8)
+
+    def test_edges_reported_once(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        normalized = {frozenset(e) for e in edges}
+        assert normalized == {frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 3})}
+
+    def test_string_vertices(self):
+        g = AdjacencyGraph.from_edges([("a", "b")])
+        assert g.has_edge("a", "b")
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (3, 4)])
+        sub = subgraph(g, [1, 2, 4])
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(3, 4)
+        assert len(sub) == 3
+
+    def test_isolated_vertices_kept(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        sub = subgraph(g, [1])
+        assert len(sub) == 1
+        assert sub.degree(1) == 0

@@ -1,0 +1,178 @@
+"""BALL COVER constructions and their cardinality guarantees
+(Lemmas 14-16, Theorem 3, Corollary 2, Theorem 5)."""
+
+import pytest
+
+from repro import AnalysisError
+from repro.analysis import (
+    ball_cover_corollary2,
+    ball_cover_greedy,
+    ball_cover_matching,
+    ball_cover_packing,
+    ball_cover_path_packing,
+    is_ball_cover,
+    maximal_ball_packing,
+    min_ball_volume,
+    nearest_center_map,
+    vertex_cover_2approx,
+)
+from repro.graphs import (
+    AdjacencyGraph,
+    GridGraph,
+    bfs_distances,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+    torus_graph,
+)
+
+FAMILIES = {
+    "path": lambda: path_graph(30),
+    "cycle": lambda: cycle_graph(24),
+    "grid": lambda: GridGraph((6, 6)),
+    "torus": lambda: torus_graph((6, 6)),
+    "star": lambda: star_graph(15),
+    "regular": lambda: random_regular_graph(40, 3, seed=13),
+}
+
+
+class TestVertexCover:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_is_vertex_cover(self, family):
+        g = FAMILIES[family]()
+        cover = vertex_cover_2approx(g)
+        for u, v in g.edges():
+            assert u in cover or v in cover
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_lemma14_vertex_cover_solves_ballcover1(self, family):
+        g = FAMILIES[family]()
+        assert is_ball_cover(g, vertex_cover_2approx(g), 1)
+
+    def test_edgeless_graph_covers_itself(self):
+        g = AdjacencyGraph([1, 2])
+        assert vertex_cover_2approx(g) == {1, 2}
+
+
+class TestLemma15:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_matching_endpoints_cover_radius2(self, family):
+        g = FAMILIES[family]()
+        cover = ball_cover_matching(g)
+        assert is_ball_cover(g, cover, 2)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_cardinality_at_most_half(self, family):
+        g = FAMILIES[family]()
+        assert len(ball_cover_matching(g)) <= max(len(g) // 2, 1)
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("j", [1, 2, 3])
+    def test_cover_and_cardinality_on_path(self, j):
+        g = path_graph(40)
+        cover = ball_cover_path_packing(g, j)
+        assert is_ball_cover(g, cover, 3 * j)
+        assert len(cover) <= len(g) // (2 * j + 1)
+
+    @pytest.mark.parametrize("family", ["grid", "torus", "regular"])
+    def test_cover_on_other_families(self, family):
+        g = FAMILIES[family]()
+        cover = ball_cover_path_packing(g, 2)
+        assert is_ball_cover(g, cover, 6)
+        assert len(cover) <= len(g) // 5
+
+    def test_small_diameter_single_center(self):
+        g = complete_graph(6)
+        cover = ball_cover_path_packing(g, 3)  # no 7-vertex simple path? K6 has one of 6
+        assert is_ball_cover(g, cover, 9)
+
+    def test_invalid_j(self):
+        with pytest.raises(AnalysisError):
+            ball_cover_path_packing(path_graph(5), 0)
+
+
+class TestCorollary2:
+    @pytest.mark.parametrize("r", [3, 5, 7, 9])
+    def test_cover_radius_and_cardinality(self, r):
+        g = path_graph(60)
+        cover = ball_cover_corollary2(g, r)
+        assert is_ball_cover(g, cover, r)
+        assert len(cover) <= len(g) / (2 * (r // 3) + 1)
+
+    def test_requires_r_at_least_3(self):
+        with pytest.raises(AnalysisError):
+            ball_cover_corollary2(path_graph(5), 2)
+
+
+class TestTheorem5:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("r", [2, 4])
+    def test_packing_cover(self, family, r):
+        g = FAMILIES[family]()
+        cover = ball_cover_packing(g, r)
+        assert is_ball_cover(g, cover, r)
+
+    @pytest.mark.parametrize("family", ["torus", "cycle"])
+    def test_cardinality_bound(self, family):
+        g = FAMILIES[family]()
+        r = 4
+        cover = ball_cover_packing(g, r)
+        assert len(cover) <= len(g) / min_ball_volume(g, r // 2)
+
+    def test_packing_balls_disjoint(self):
+        g = GridGraph((8, 8))
+        centers = maximal_ball_packing(g, 1)
+        claimed = set()
+        for c in centers:
+            cells = set(bfs_distances(g, c, max_radius=1))
+            assert claimed.isdisjoint(cells)
+            claimed |= cells
+
+    def test_negative_radius(self):
+        with pytest.raises(AnalysisError):
+            ball_cover_packing(path_graph(5), -1)
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_greedy_covers(self, family):
+        g = FAMILIES[family]()
+        assert is_ball_cover(g, ball_cover_greedy(g, 3), 3)
+
+    def test_greedy_never_bigger_than_trivial(self):
+        g = path_graph(30)
+        assert len(ball_cover_greedy(g, 3)) <= len(g)
+
+
+class TestIsBallCover:
+    def test_rejects_insufficient(self):
+        assert not is_ball_cover(path_graph(10), {0}, 3)
+
+    def test_accepts_sufficient(self):
+        assert is_ball_cover(path_graph(10), {0}, 9)
+
+    def test_empty_centers(self):
+        assert not is_ball_cover(path_graph(3), set(), 5)
+
+
+class TestNearestCenterMap:
+    def test_assignment_is_nearest(self):
+        g = path_graph(20)
+        centers = {3, 12}
+        assignment = nearest_center_map(g, centers)
+        for v in g.vertices():
+            chosen = assignment[v]
+            other = ({3, 12} - {chosen}).pop()
+            assert abs(v - chosen) <= abs(v - other)
+
+    def test_covers_all_vertices(self):
+        g = torus_graph((5, 5))
+        assignment = nearest_center_map(g, [(0, 0)])
+        assert len(assignment) == len(g)
+
+    def test_empty_centers_rejected(self):
+        with pytest.raises(AnalysisError):
+            nearest_center_map(path_graph(3), [])

@@ -1,0 +1,110 @@
+"""Belady MIN eviction and competitive ratios (open question 8)."""
+
+import pytest
+
+from repro import (
+    ExplicitBlocking,
+    FirstBlockPolicy,
+    ModelParams,
+    PagingError,
+    simulate_path,
+)
+from repro.graphs import cycle_graph, path_graph
+from repro.paging import belady_trace, competitive_ratio
+from repro.workloads import pingpong_walk
+
+
+def linear_blocking(n, B):
+    return ExplicitBlocking(
+        B, {i: set(range(B * i, min(B * (i + 1), n))) for i in range((n + B - 1) // B)}
+    )
+
+
+class TestBeladyTrace:
+    def test_scan_faults_once_per_block(self):
+        blocking = linear_blocking(20, 5)
+        trace = belady_trace(list(range(20)), blocking, ModelParams(5, 10))
+        assert trace.faults == 4
+        assert trace.steps == 19
+
+    def test_refuses_replicated_blockings(self):
+        blocking = ExplicitBlocking(2, {"a": {0, 1}, "b": {1, 2}})
+        with pytest.raises(PagingError):
+            belady_trace([0, 1, 2], blocking, ModelParams(2, 4))
+
+    def test_never_worse_than_lru(self):
+        """MIN is optimal: on any path it faults at most as often as
+        the on-line LRU engine with the same blocking."""
+        n, B, M = 24, 4, 8
+        graph = cycle_graph(n)
+        blocking = linear_blocking(n, B)
+        # A cyclic pass: the classic LRU-killer.
+        path = [i % n for i in range(3 * n + 1)]
+        online = simulate_path(graph, blocking, FirstBlockPolicy(), ModelParams(B, M), path)
+        offline = belady_trace(path, blocking, ModelParams(B, M))
+        assert offline.faults <= online.faults
+
+    def test_beats_lru_on_cycle(self):
+        """On cyclic access over M/B + k blocks LRU faults every block
+        while MIN retains part of the cycle."""
+        n, B, M = 24, 4, 12  # 6 blocks, 3 in memory
+        graph = cycle_graph(n)
+        blocking = linear_blocking(n, B)
+        path = [i % n for i in range(5 * n + 1)]
+        online = simulate_path(
+            graph, blocking, FirstBlockPolicy(), ModelParams(B, M), path
+        )
+        offline = belady_trace(path, blocking, ModelParams(B, M))
+        assert offline.faults < online.faults
+
+    def test_pingpong_optimal(self):
+        n, B, M = 20, 5, 10
+        graph = path_graph(n)
+        blocking = linear_blocking(n, B)
+        path = pingpong_walk(list(range(n)), 4)
+        offline = belady_trace(path, blocking, ModelParams(B, M))
+        online = simulate_path(
+            graph, blocking, FirstBlockPolicy(), ModelParams(B, M), path
+        )
+        assert offline.faults <= online.faults
+
+    def test_empty_path(self):
+        blocking = linear_blocking(8, 4)
+        trace = belady_trace([], blocking, ModelParams(4, 8))
+        assert trace.faults == 0
+        assert trace.steps == 0
+
+    def test_gap_accounting(self):
+        blocking = linear_blocking(20, 5)
+        trace = belady_trace(list(range(20)), blocking, ModelParams(5, 10))
+        assert trace.fault_gaps == [0, 5, 5, 5]
+
+
+class TestCompetitiveRatio:
+    def test_ratio_basic(self):
+        from repro.core.stats import SearchTrace
+
+        online = SearchTrace(steps=10, faults=6)
+        offline = SearchTrace(steps=10, faults=3)
+        assert competitive_ratio(online, offline) == 2.0
+
+    def test_no_offline_faults(self):
+        from repro.core.stats import SearchTrace
+
+        assert competitive_ratio(SearchTrace(faults=0), SearchTrace(faults=0)) == 1.0
+        assert competitive_ratio(SearchTrace(faults=3), SearchTrace(faults=0)) == float(
+            "inf"
+        )
+
+    def test_lru_within_classic_bound(self):
+        """LRU is k-competitive (k = blocks in memory) in classical
+        paging; measured ratios on our traces respect that."""
+        n, B, M = 24, 4, 12
+        graph = cycle_graph(n)
+        blocking = linear_blocking(n, B)
+        path = [i % n for i in range(6 * n + 1)]
+        online = simulate_path(
+            graph, blocking, FirstBlockPolicy(), ModelParams(B, M), path
+        )
+        offline = belady_trace(path, blocking, ModelParams(B, M))
+        assert competitive_ratio(online, offline) <= M / B + 1e-9

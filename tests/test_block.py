@@ -1,0 +1,40 @@
+"""Block construction and capacity enforcement."""
+
+import pytest
+
+from repro import Block, BlockingError
+from repro.core.block import make_block
+
+
+class TestBlock:
+    def test_contains(self):
+        block = make_block("b", {1, 2, 3}, 4)
+        assert 2 in block
+        assert 9 not in block
+
+    def test_len(self):
+        assert len(make_block("b", {1, 2, 3}, 4)) == 3
+
+    def test_iter_yields_all(self):
+        assert set(make_block("b", {1, 2}, 4)) == {1, 2}
+
+    def test_capacity_enforced(self):
+        with pytest.raises(BlockingError):
+            make_block("b", range(5), 4)
+
+    def test_capacity_exact_fit(self):
+        assert len(make_block("b", range(4), 4)) == 4
+
+    def test_duplicates_collapse(self):
+        # A block stores a *set* of vertices; duplicates in the input
+        # do not consume capacity.
+        assert len(make_block("b", [1, 1, 2, 2], 2)) == 2
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(BlockingError):
+            Block("b", frozenset())
+
+    def test_block_is_hashable_and_frozen(self):
+        block = make_block("b", {1}, 4)
+        with pytest.raises(AttributeError):
+            block.vertices = frozenset({2})

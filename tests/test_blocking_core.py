@@ -1,0 +1,106 @@
+"""ExplicitBlocking / ImplicitBlocking semantics, incl. storage blow-up."""
+
+import pytest
+
+from repro import BlockingError, ExplicitBlocking
+from repro.core.blocking import ImplicitBlocking
+
+
+def two_block_blocking() -> ExplicitBlocking:
+    return ExplicitBlocking(3, {"a": {1, 2, 3}, "b": {3, 4, 5}})
+
+
+class TestExplicitBlocking:
+    def test_blocks_for_single(self):
+        blocking = two_block_blocking()
+        assert blocking.blocks_for(1) == ("a",)
+
+    def test_blocks_for_replicated_vertex(self):
+        blocking = two_block_blocking()
+        assert set(blocking.blocks_for(3)) == {"a", "b"}
+
+    def test_blocks_for_unknown_vertex_empty(self):
+        assert two_block_blocking().blocks_for(99) == ()
+
+    def test_block_lookup(self):
+        assert two_block_blocking().block("a").vertices == frozenset({1, 2, 3})
+
+    def test_unknown_block_id(self):
+        with pytest.raises(BlockingError):
+            two_block_blocking().block("zzz")
+
+    def test_storage_blowup(self):
+        # 2 blocks x 3 slots over 5 distinct vertices = 1.2.
+        assert two_block_blocking().storage_blowup() == pytest.approx(1.2)
+
+    def test_storage_blowup_with_universe(self):
+        blocking = ExplicitBlocking(3, {"a": {1, 2, 3}}, universe_size=6)
+        assert blocking.storage_blowup() == pytest.approx(0.5)
+
+    def test_universe_smaller_than_blocked_rejected(self):
+        with pytest.raises(BlockingError):
+            ExplicitBlocking(3, {"a": {1, 2, 3}}, universe_size=2)
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(BlockingError):
+            ExplicitBlocking(2, {"a": {1, 2, 3}})
+
+    def test_empty_blocking_rejected(self):
+        with pytest.raises(BlockingError):
+            ExplicitBlocking(2, {})
+
+    def test_copies_of(self):
+        blocking = two_block_blocking()
+        assert blocking.copies_of(3) == 2
+        assert blocking.copies_of(1) == 1
+        assert blocking.copies_of(99) == 0
+
+    def test_max_copies(self):
+        assert two_block_blocking().max_copies() == 2
+
+    def test_covers(self):
+        blocking = two_block_blocking()
+        assert blocking.covers([1, 3, 5])
+        assert not blocking.covers([1, 99])
+
+    def test_num_blocks_and_ids(self):
+        blocking = two_block_blocking()
+        assert blocking.num_blocks() == 2
+        assert set(blocking.block_ids()) == {"a", "b"}
+
+    def test_primary_block_contains_vertex(self):
+        blocking = two_block_blocking()
+        assert 3 in blocking.primary_block_for(3)
+
+    def test_primary_block_uncovered_raises(self):
+        with pytest.raises(BlockingError):
+            two_block_blocking().primary_block_for(42)
+
+
+class _EvenOdd(ImplicitBlocking):
+    """Toy implicit blocking: integers split by parity bucket of 4."""
+
+    def blocks_for(self, vertex):
+        return ((vertex // 4),)
+
+    def _materialize(self, block_id):
+        return frozenset(range(4 * block_id, 4 * block_id + 4))
+
+
+class TestImplicitBlocking:
+    def test_materialization_and_cache(self):
+        blocking = _EvenOdd(4, blowup=1.0)
+        block = blocking.block(2)
+        assert block.vertices == frozenset({8, 9, 10, 11})
+        assert blocking.block(2) is block  # memoized
+
+    def test_analytic_blowup(self):
+        assert _EvenOdd(4, blowup=2.5).storage_blowup() == 2.5
+
+    def test_invalid_blowup(self):
+        with pytest.raises(BlockingError):
+            _EvenOdd(4, blowup=0.0)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(BlockingError):
+            _EvenOdd(0, blowup=1.0)

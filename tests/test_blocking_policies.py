@@ -1,0 +1,178 @@
+"""Construction-specific block-choice policies."""
+
+import pytest
+
+from repro import (
+    ExplicitBlocking,
+    FirstBlockPolicy,
+    ModelParams,
+    PagingError,
+    simulate_adversary,
+    simulate_path,
+)
+from repro.adversaries import GreedyUncoveredAdversary
+from repro.blockings import (
+    FarthestFaultPolicy,
+    MostInteriorPolicy,
+    NearestCenterPolicy,
+    OtherCopyPolicy,
+    offset_1d_blocking,
+    offset_grid_blocking,
+    overlapped_tree_blocking,
+)
+from repro.core.memory import WeakMemory
+from repro.graphs import CompleteTree, InfiniteGridGraph, path_graph
+
+
+class TestMostInterior:
+    def test_prefers_deeper_block_1d(self):
+        blocking = offset_1d_blocking(8)  # copies offset by 4
+        memory = WeakMemory(ModelParams(8, 16))
+        policy = MostInteriorPolicy()
+        # Vertex 0 is on the boundary of copy 0 but centered in copy 1.
+        choice = policy.choose((0,), blocking, memory)
+        assert choice[0] == 1
+
+    def test_prefers_deeper_block_center(self):
+        blocking = offset_1d_blocking(8)
+        memory = WeakMemory(ModelParams(8, 16))
+        # Vertex 4 is centered in copy 0 ([0,8)), boundary of copy 1.
+        choice = MostInteriorPolicy().choose((4,), blocking, memory)
+        assert choice[0] == 0
+
+    def test_requires_interior_distance(self):
+        blocking = ExplicitBlocking(2, {"a": {1, 2}})
+        memory = WeakMemory(ModelParams(2, 4))
+        with pytest.raises(PagingError):
+            MostInteriorPolicy().choose(1, blocking, memory)
+
+    def test_uncovered_vertex_raises(self):
+        # An explicit blocking reports no candidates for unknown
+        # vertices; the policy must turn that into a PagingError.
+        blocking = ExplicitBlocking(2, {"a": {1, 2}})
+        memory = WeakMemory(ModelParams(2, 4))
+        with pytest.raises(PagingError):
+            MostInteriorPolicy().choose(99, blocking, memory)
+
+
+class TestOtherCopy:
+    def test_alternates_copies_on_tree(self):
+        tree = CompleteTree(2, 10)
+        blocking = overlapped_tree_blocking(tree, 15)
+        policy = OtherCopyPolicy()
+        memory = WeakMemory(ModelParams(15, 30))
+        first = policy.choose(0, blocking, memory)
+        # Next fault must come from the other copy.
+        deep = 100
+        second = policy.choose(deep, blocking, memory)
+        assert second[0] != first[0]
+
+    def test_requires_union_blocking(self):
+        blocking = ExplicitBlocking(2, {"a": {1, 2}})
+        memory = WeakMemory(ModelParams(2, 4))
+        with pytest.raises(PagingError):
+            OtherCopyPolicy().choose(1, blocking, memory)
+
+    def test_reset_clears_history(self):
+        tree = CompleteTree(2, 6)
+        blocking = overlapped_tree_blocking(tree, 15)
+        policy = OtherCopyPolicy()
+        memory = WeakMemory(ModelParams(15, 30))
+        a = policy.choose(0, blocking, memory)
+        policy.reset()
+        b = policy.choose(0, blocking, memory)
+        assert a == b  # same first decision after reset
+
+    def test_achieves_lemma17_gap(self):
+        """The literal other-copy rule also delivers k/2 fault gaps."""
+        tree = CompleteTree(2, 40)
+        blocking = overlapped_tree_blocking(tree, 15)  # k = 4
+        leaf = tree.size - 1
+        down = list(reversed(tree.path_to_root(leaf)))
+        trace = simulate_path(
+            tree, blocking, OtherCopyPolicy(), ModelParams(15, 30), down
+        )
+        assert trace.min_gap >= 2
+
+
+class TestFarthestFault:
+    def test_corner_exit_uses_retained_block(self):
+        """At a diagonal-corner exit, per-block interior distance is 1
+        for both candidates, but combined with the retained old block
+        one candidate still buys side/4 — the Lemma 22 case analysis."""
+        graph = InfiniteGridGraph(2)
+        blocking = offset_grid_blocking(2, 64)  # side 8
+        adversary = GreedyUncoveredAdversary(graph, (0, 0), max_radius=40)
+        trace = simulate_adversary(
+            graph,
+            blocking,
+            FarthestFaultPolicy(graph),
+            ModelParams(64, 128),
+            adversary,
+            2_000,
+        )
+        assert trace.min_gap >= 2  # side/4
+
+    def test_interior_policy_loses_at_corners(self):
+        """Contrast: the naive per-block interior rule gives up the
+        guarantee (gap 1 events appear)."""
+        graph = InfiniteGridGraph(2)
+        blocking = offset_grid_blocking(2, 64)
+        adversary = GreedyUncoveredAdversary(graph, (0, 0), max_radius=40)
+        trace = simulate_adversary(
+            graph,
+            blocking,
+            MostInteriorPolicy(),
+            ModelParams(64, 128),
+            adversary,
+            2_000,
+        )
+        assert trace.min_gap == 1
+
+    def test_single_candidate_shortcut(self):
+        graph = path_graph(10)
+        blocking = ExplicitBlocking(5, {0: {0, 1, 2, 3, 4}, 1: {5, 6, 7, 8, 9}})
+        trace = simulate_path(
+            graph,
+            blocking,
+            FarthestFaultPolicy(graph),
+            ModelParams(5, 10),
+            range(10),
+        )
+        assert trace.faults == 2
+
+    def test_uncovered_vertex_raises(self):
+        graph = path_graph(10)
+        blocking = ExplicitBlocking(5, {0: {0, 1, 2, 3, 4}})
+        memory = WeakMemory(ModelParams(5, 10))
+        with pytest.raises(PagingError):
+            FarthestFaultPolicy(graph).choose(7, blocking, memory)
+
+
+class TestNearestCenter:
+    def test_prefers_assigned_center(self):
+        blocking = ExplicitBlocking(
+            3, {("nbhd", 0): {0, 1, 2}, ("nbhd", 4): {2, 3, 4}}
+        )
+        policy = NearestCenterPolicy({2: 4})
+        memory = WeakMemory(ModelParams(3, 6))
+        assert policy.choose(2, blocking, memory) == ("nbhd", 4)
+
+    def test_falls_back_when_center_block_misses(self):
+        blocking = ExplicitBlocking(3, {("nbhd", 0): {0, 1, 2}})
+        policy = NearestCenterPolicy({1: 99})  # no such block
+        memory = WeakMemory(ModelParams(3, 6))
+        assert policy.choose(1, blocking, memory) == ("nbhd", 0)
+
+    def test_unassigned_vertex_raises(self):
+        blocking = ExplicitBlocking(3, {("nbhd", 0): {0, 1, 2}})
+        policy = NearestCenterPolicy({0: 0})
+        memory = WeakMemory(ModelParams(3, 6))
+        with pytest.raises(PagingError):
+            policy.choose(5, blocking, memory)
+
+    def test_empty_assignment_rejected(self):
+        from repro import BlockingError
+
+        with pytest.raises(BlockingError):
+            NearestCenterPolicy({})

@@ -1,0 +1,86 @@
+"""The `python -m repro.experiments` entry point."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    @pytest.mark.slow
+    def test_quick_run_exits_zero(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(["--quick"])
+        output = buffer.getvalue()
+        assert code == 0
+        assert "Table 1" in output
+        assert "All" in output and "hold" in output
+        # Every experiment family appears.
+        for token in ("T1-R1", "T1-R5", "T1-R8-GAP", "K-LB", "EX1", "BC"):
+            assert token in output
+
+    def test_help_mentions_quick(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "--quick" in capsys.readouterr().out
+
+
+class TestResultsIo:
+    def test_roundtrip(self, tmp_path):
+        from repro.experiments import dump_results, load_results
+        from repro.experiments.harness import CheckResult, ExperimentResult
+
+        games = [
+            ExperimentResult(
+                "T1-R2",
+                "demo game",
+                params={"B": 64, "s": 1},
+                sigma=63.8,
+                steady_sigma=64.0,
+                min_gap=64.0,
+                faults=100,
+                steps=6400,
+                lower_bound=64.0,
+                upper_bound=64.0,
+                storage_blowup=1.0,
+            )
+        ]
+        checks = [CheckResult("EX2", "demo check", expected=5.0, measured=5.0)]
+        path = tmp_path / "results.json"
+        dump_results(path, games, checks)
+        loaded_games, loaded_checks = load_results(path)
+        assert loaded_games[0].experiment == "T1-R2"
+        assert loaded_games[0].sigma == 63.8
+        assert loaded_games[0].holds
+        assert loaded_games[0].params["B"] == 64
+        assert loaded_checks[0].holds
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        import json
+
+        import pytest
+
+        from repro.experiments import load_results
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "games": [], "checks": []}))
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_non_jsonable_params_stringified(self, tmp_path):
+        from repro.experiments import dump_results, load_results
+        from repro.experiments.harness import ExperimentResult
+
+        games = [
+            ExperimentResult(
+                "X", "d", params={"shape": (3, 4)}, sigma=1.0, steady_sigma=1.0
+            )
+        ]
+        path = tmp_path / "r.json"
+        dump_results(path, games, [])
+        loaded, _ = load_results(path)
+        assert loaded[0].params["shape"] == "(3, 4)"

@@ -1,0 +1,67 @@
+"""Generic block-choice policies (core/policies.py)."""
+
+import pytest
+
+from repro import (
+    ExplicitBlocking,
+    FirstBlockPolicy,
+    LargestBlockPolicy,
+    ModelParams,
+    MostUncoveredPolicy,
+    PagingError,
+)
+from repro.core.block import make_block
+from repro.core.memory import WeakMemory
+
+
+def memory(B=4, M=16) -> WeakMemory:
+    return WeakMemory(ModelParams(B, M))
+
+
+class TestFirstBlock:
+    def test_returns_first_candidate(self):
+        blocking = ExplicitBlocking(3, {"a": {1, 2}, "b": {2, 3}})
+        # 2 lives in both; insertion order puts "a" first.
+        assert FirstBlockPolicy().choose(2, blocking, memory()) == "a"
+
+    def test_uncovered_raises(self):
+        blocking = ExplicitBlocking(3, {"a": {1, 2}})
+        with pytest.raises(PagingError):
+            FirstBlockPolicy().choose(9, blocking, memory())
+
+
+class TestLargestBlock:
+    def test_prefers_bigger_block(self):
+        blocking = ExplicitBlocking(4, {"small": {5, 6}, "big": {5, 7, 8, 9}})
+        assert LargestBlockPolicy().choose(5, blocking, memory()) == "big"
+
+    def test_uncovered_raises(self):
+        blocking = ExplicitBlocking(3, {"a": {1}})
+        with pytest.raises(PagingError):
+            LargestBlockPolicy().choose(9, blocking, memory())
+
+
+class TestMostUncovered:
+    def test_prefers_fresh_coverage(self):
+        blocking = ExplicitBlocking(
+            4, {"stale": {5, 6, 7, 8}, "fresh": {5, 10, 11, 12}}
+        )
+        mem = memory()
+        # Pre-cover most of "stale"'s contents via another block.
+        mem.load(make_block("warm", {6, 7, 8}, 4))
+        assert MostUncoveredPolicy().choose(5, blocking, mem) == "fresh"
+
+    def test_ties_broken_by_order(self):
+        blocking = ExplicitBlocking(3, {"a": {5, 1, 2}, "b": {5, 3, 4}})
+        assert MostUncoveredPolicy().choose(5, blocking, memory()) == "a"
+
+    def test_uncovered_raises(self):
+        blocking = ExplicitBlocking(3, {"a": {1}})
+        with pytest.raises(PagingError):
+            MostUncoveredPolicy().choose(9, blocking, memory())
+
+
+class TestResetContract:
+    def test_stateless_policies_reset_noop(self):
+        for policy in (FirstBlockPolicy(), LargestBlockPolicy(), MostUncoveredPolicy()):
+            policy.reset()  # must not raise

@@ -1,0 +1,116 @@
+"""Directed graphs (open question 5) and the directed searching game."""
+
+import pytest
+
+from repro import (
+    AdversaryError,
+    ExplicitBlocking,
+    FirstBlockPolicy,
+    GraphError,
+    ModelParams,
+    simulate_path,
+)
+from repro.graphs import DirectedAdjacencyGraph, random_hyperlink_graph
+from repro.graphs.traversal import bfs_distances
+
+
+class TestDirectedGraph:
+    def test_arcs_are_one_way(self):
+        g = DirectedAdjacencyGraph.from_edges([(0, 1)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.neighbors(0) == frozenset({1})
+        assert g.neighbors(1) == frozenset()
+
+    def test_in_neighbors(self):
+        g = DirectedAdjacencyGraph.from_edges([(0, 2), (1, 2)])
+        assert g.in_neighbors(2) == frozenset({0, 1})
+        assert g.in_degree(2) == 2
+        assert g.out_degree(2) == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            DirectedAdjacencyGraph.from_edges([(1, 1)])
+
+    def test_num_edges_counts_arcs(self):
+        g = DirectedAdjacencyGraph.from_edges([(0, 1), (1, 0), (1, 2)])
+        assert g.num_edges() == 3
+
+    def test_reversed_graph(self):
+        g = DirectedAdjacencyGraph.from_edges([(0, 1), (1, 2)])
+        rev = g.reversed_graph()
+        assert rev.has_edge(1, 0)
+        assert rev.has_edge(2, 1)
+        assert not rev.has_edge(0, 1)
+
+    def test_as_undirected(self):
+        g = DirectedAdjacencyGraph.from_edges([(0, 1), (2, 1)])
+        u = g.as_undirected()
+        assert u.has_edge(1, 0)
+        assert u.has_edge(1, 2)
+
+    def test_unknown_vertex(self):
+        with pytest.raises(GraphError):
+            DirectedAdjacencyGraph().neighbors(9)
+
+    def test_directed_bfs_respects_orientation(self):
+        g = DirectedAdjacencyGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        dist = bfs_distances(g, 0)
+        assert dist == {0: 0, 1: 1, 2: 2}
+
+
+class TestDirectedSearch:
+    def test_walk_must_follow_arcs(self):
+        g = DirectedAdjacencyGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        blocking = ExplicitBlocking(3, {"a": {0, 1, 2}})
+        trace = simulate_path(
+            g, blocking, FirstBlockPolicy(), ModelParams(3, 3), [0, 1, 2, 0]
+        )
+        assert trace.steps == 3
+        with pytest.raises(AdversaryError):
+            simulate_path(
+                g, blocking, FirstBlockPolicy(), ModelParams(3, 3), [0, 2]
+            )
+
+    def test_greedy_adversary_on_hyperlink_graph(self):
+        """The undirected machinery runs unchanged on directed data —
+        the empirical side of open question 5."""
+        from repro.adversaries import GreedyUncoveredAdversary
+        from repro.blockings import compact_neighborhood_blocking, NearestCenterPolicy
+        from repro import simulate_adversary
+
+        graph = random_hyperlink_graph(200, 3, seed=8)
+        B = 8
+        blocking = compact_neighborhood_blocking(graph, B)
+        policy = NearestCenterPolicy({v: v for v in graph.vertices()})
+        trace = simulate_adversary(
+            graph,
+            blocking,
+            policy,
+            ModelParams(B, 2 * B),
+            GreedyUncoveredAdversary(graph, 0),
+            1_500,
+        )
+        # No theorem here (that's the open question); but the game runs
+        # and out-neighborhood blocks still buy a speed-up > 1.
+        assert trace.steps == 1_500
+        assert trace.speedup > 1.0
+
+
+class TestHyperlinkGenerator:
+    def test_deterministic(self):
+        a = random_hyperlink_graph(50, 3, seed=4)
+        b = random_hyperlink_graph(50, 3, seed=4)
+        assert a.num_edges() == b.num_edges()
+
+    def test_spine_present(self):
+        g = random_hyperlink_graph(20, 1, seed=0)
+        for v in range(1, 20):
+            assert g.has_edge(v, v - 1)
+            assert g.has_edge(v - 1, v)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            random_hyperlink_graph(1, 2, seed=0)
+        with pytest.raises(GraphError):
+            random_hyperlink_graph(10, 0, seed=0)

@@ -1,0 +1,137 @@
+"""Linear arrangements and the chunking heuristic (Section 1 intro)."""
+
+import pytest
+
+from repro import AnalysisError, FirstBlockPolicy, ModelParams, simulate_adversary
+from repro.adversaries import GreedyUncoveredAdversary
+from repro.analysis import (
+    average_proximity,
+    boustrophedon_linearization,
+    hilbert_linearization,
+    linearization_blocking,
+    proximity_blowup,
+    row_major_linearization,
+    stretch_profile,
+    tile_major_linearization,
+)
+from repro.graphs import GridGraph
+
+
+class TestLinearizations:
+    def test_row_major_order(self):
+        order = row_major_linearization((3, 2))
+        assert order == [(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]
+
+    def test_all_cover_grid_exactly(self):
+        grid = GridGraph((8, 8))
+        for order in (
+            row_major_linearization((8, 8)),
+            boustrophedon_linearization((8, 8)),
+            hilbert_linearization(3),
+            tile_major_linearization((8, 8), 4),
+        ):
+            assert len(order) == 64
+            assert set(order) == set(grid.vertices())
+
+    def test_tile_major_groups_tiles(self):
+        order = tile_major_linearization((4, 4), 2)
+        # First four entries are the top-left 2x2 tile.
+        assert set(order[:4]) == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_shape_validation(self):
+        with pytest.raises(AnalysisError):
+            row_major_linearization((2, 2, 2))
+        with pytest.raises(AnalysisError):
+            tile_major_linearization((4, 4), 0)
+
+
+class TestProximity:
+    def test_row_major_stretch_is_width(self):
+        """Rosenberg: a vertical edge spans a full row in storage."""
+        grid = GridGraph((16, 16))
+        assert proximity_blowup(grid, row_major_linearization((16, 16))) == 16
+
+    def test_no_order_achieves_constant_stretch(self):
+        """The Rosenberg impossibility, sampled: every order we have
+        stretches some edge beyond any small constant on a 16x16 grid."""
+        grid = GridGraph((16, 16))
+        orders = {
+            "row": row_major_linearization((16, 16)),
+            "snake": boustrophedon_linearization((16, 16)),
+            "hilbert": hilbert_linearization(4),
+            "tile": tile_major_linearization((16, 16), 4),
+        }
+        for name, (worst, _mean) in stretch_profile(grid, orders).items():
+            assert worst >= 16, name
+
+    def test_hilbert_trades_max_for_blocking(self):
+        """The subtle intro point: Hilbert has *worse* max stretch than
+        row-major (curve folds) — stretch does not predict blocking
+        quality; the chunk test below does."""
+        grid = GridGraph((16, 16))
+        assert proximity_blowup(
+            grid, hilbert_linearization(4)
+        ) > proximity_blowup(grid, row_major_linearization((16, 16)))
+
+    def test_average_proximity(self):
+        grid = GridGraph((4, 4))
+        mean = average_proximity(grid, row_major_linearization((4, 4)))
+        # Horizontal edges stretch 1 (12 of them), vertical stretch 4.
+        assert mean == pytest.approx((12 * 1 + 12 * 4) / 24)
+
+    def test_missing_vertex_detected(self):
+        grid = GridGraph((3, 3))
+        with pytest.raises(AnalysisError):
+            proximity_blowup(grid, [(0, 0)])
+
+    def test_duplicate_detected(self):
+        grid = GridGraph((2, 2))
+        with pytest.raises(AnalysisError):
+            proximity_blowup(grid, [(0, 0)] * 4)
+
+
+class TestChunkingHeuristic:
+    def test_chunks_cover(self):
+        order = row_major_linearization((8, 8))
+        blocking = linearization_blocking(order, 16)
+        assert blocking.covers(order)
+        assert blocking.storage_blowup() == pytest.approx(1.0)
+
+    def test_empty_order_rejected(self):
+        with pytest.raises(AnalysisError):
+            linearization_blocking([], 4)
+
+    def test_intro_claim_chunking_loses_to_brick(self):
+        """The intro's finding, measured: under a hostile walk with
+        M = 3B, every chunked linearization underperforms the paper's
+        sheared s=1 tessellation — and the Hilbert chunks, despite the
+        best *average* stretch, collapse completely (their 4-way seams
+        exceed the 3 blocks memory holds). Locality heuristics are not
+        worst-case blockings."""
+        from repro.blockings import sheared_grid_blocking
+
+        grid = GridGraph((32, 32))
+        B, M = 64, 192
+        adversary = GreedyUncoveredAdversary(grid, (0, 0))
+        sigmas = {}
+        contenders = {
+            "row": linearization_blocking(
+                row_major_linearization((32, 32)), B, universe_size=1024
+            ),
+            "hilbert": linearization_blocking(
+                hilbert_linearization(5), B, universe_size=1024
+            ),
+            "brick": sheared_grid_blocking(2, B),
+        }
+        for name, blocking in contenders.items():
+            trace = simulate_adversary(
+                grid,
+                blocking,
+                FirstBlockPolicy(),
+                ModelParams(B, M),
+                adversary,
+                3_000,
+            )
+            sigmas[name] = trace.speedup
+        assert sigmas["brick"] > sigmas["row"] > sigmas["hilbert"]
+        assert sigmas["hilbert"] < 1.5  # total collapse

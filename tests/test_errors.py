@@ -1,0 +1,89 @@
+"""The exception hierarchy: one base, catchable layers, useful messages."""
+
+import pytest
+
+from repro import (
+    AdversaryError,
+    AnalysisError,
+    BlockingError,
+    GraphError,
+    ModelError,
+    PagingError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ModelError,
+            GraphError,
+            BlockingError,
+            PagingError,
+            AdversaryError,
+            AnalysisError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_one_catch_for_everything(self):
+        """Library failures are catchable with a single except clause."""
+        from repro import ModelParams
+
+        with pytest.raises(ReproError):
+            ModelParams(0, 4)
+
+    def test_siblings_do_not_cross_catch(self):
+        from repro import ModelParams
+
+        with pytest.raises(ModelError):
+            ModelParams(0, 4)
+        try:
+            ModelParams(0, 4)
+        except GraphError:  # pragma: no cover - must not trigger
+            pytest.fail("ModelError must not be a GraphError")
+        except ModelError:
+            pass
+
+
+class TestMessages:
+    def test_model_error_names_values(self):
+        from repro import ModelParams
+
+        with pytest.raises(ModelError, match="B"):
+            ModelParams(8, 4)
+
+    def test_graph_error_names_vertex(self):
+        from repro.graphs import path_graph
+
+        with pytest.raises(GraphError, match="99"):
+            path_graph(3).neighbors(99)
+
+    def test_blocking_error_names_block(self):
+        from repro import ExplicitBlocking
+
+        with pytest.raises(BlockingError, match="ghost"):
+            ExplicitBlocking(2, {"a": {1}}).block("ghost")
+
+    def test_adversary_error_names_move(self):
+        from repro import ExplicitBlocking, FirstBlockPolicy, ModelParams, simulate_path
+        from repro.graphs import path_graph
+
+        blocking = ExplicitBlocking(4, {"a": {0, 1, 2, 3}})
+        with pytest.raises(AdversaryError, match="0.*3|3.*0"):
+            simulate_path(
+                path_graph(4), blocking, FirstBlockPolicy(), ModelParams(4, 4), [0, 3]
+            )
+
+    def test_paging_error_names_capacity(self):
+        from repro import ModelParams, PagingError
+        from repro.core.block import make_block
+        from repro.core.memory import WeakMemory
+
+        mem = WeakMemory(ModelParams(4, 4))
+        mem.load(make_block("a", {1, 2, 3, 4}, 4))
+        with pytest.raises(PagingError, match="M=4"):
+            mem.load(make_block("b", {5}, 4))

@@ -1,0 +1,103 @@
+"""Eviction policies: evict-all, LRU blocks, FIFO copies."""
+
+import pytest
+
+from repro import ModelParams, PagingError, PagingModel, StrongMemory, WeakMemory
+from repro.core.block import make_block
+from repro.paging.eviction import (
+    EvictAllPolicy,
+    FifoCopiesEviction,
+    LruEviction,
+    default_eviction,
+)
+
+
+def block(bid, vertices, B=4):
+    return make_block(bid, vertices, B)
+
+
+class TestEvictAll:
+    def test_noop_when_room(self):
+        mem = WeakMemory(ModelParams(2, 8))
+        mem.load(block("a", {1, 2}))
+        EvictAllPolicy().make_room(mem, block("b", {3, 4}))
+        assert mem.covers(1)
+
+    def test_flushes_everything_when_tight(self):
+        mem = WeakMemory(ModelParams(2, 4))
+        mem.load(block("a", {1, 2}))
+        mem.load(block("b", {3, 4}))
+        EvictAllPolicy().make_room(mem, block("c", {5, 6}))
+        assert mem.occupancy == 0
+
+    def test_strong_memory_supported(self):
+        mem = StrongMemory(ModelParams(2, 4, PagingModel.STRONG))
+        mem.load(block("a", {1, 2}))
+        mem.load(block("b", {3, 4}))
+        EvictAllPolicy().make_room(mem, block("c", {5, 6}))
+        assert mem.occupancy == 0
+
+    def test_impossible_block_raises(self):
+        mem = WeakMemory(ModelParams(4, 4))
+        with pytest.raises(PagingError):
+            EvictAllPolicy().make_room(mem, make_block("x", range(5), 5))
+
+
+class TestLru:
+    def test_evicts_least_recent_first(self):
+        mem = WeakMemory(ModelParams(2, 4))
+        mem.load(block("a", {1, 2}))
+        mem.load(block("b", {3, 4}))
+        mem.touch(1)  # refresh a; b is now LRU
+        LruEviction().make_room(mem, block("c", {5, 6}))
+        assert mem.is_resident("a")
+        assert not mem.is_resident("b")
+
+    def test_evicts_just_enough(self):
+        mem = WeakMemory(ModelParams(2, 6))
+        mem.load(block("a", {1, 2}))
+        mem.load(block("b", {3, 4}))
+        mem.load(block("c", {5, 6}))
+        LruEviction().make_room(mem, block("d", {7, 8}))
+        # Only one block (the LRU "a") needed to go.
+        assert not mem.is_resident("a")
+        assert mem.is_resident("b")
+        assert mem.is_resident("c")
+
+    def test_requires_weak_memory(self):
+        mem = StrongMemory(ModelParams(2, 4, PagingModel.STRONG))
+        with pytest.raises(PagingError):
+            LruEviction().make_room(mem, block("a", {1, 2}))
+
+    def test_oversized_block_raises(self):
+        mem = WeakMemory(ModelParams(2, 2))
+        with pytest.raises(PagingError):
+            LruEviction().make_room(mem, make_block("x", range(3), 3))
+
+
+class TestFifoCopies:
+    def test_partial_flush(self):
+        # Strong-model signature move: drop 2 of block a's copies only.
+        mem = StrongMemory(ModelParams(4, 6, PagingModel.STRONG))
+        mem.load(block("a", {1, 2, 3, 4}))
+        FifoCopiesEviction().make_room(mem, block("b", {5, 6, 7, 8}))
+        assert mem.occupancy == 2
+
+    def test_requires_strong_memory(self):
+        mem = WeakMemory(ModelParams(2, 4))
+        with pytest.raises(PagingError):
+            FifoCopiesEviction().make_room(mem, block("a", {1, 2}))
+
+    def test_impossible_block_raises(self):
+        mem = StrongMemory(ModelParams(2, 2, PagingModel.STRONG))
+        with pytest.raises(PagingError):
+            FifoCopiesEviction().make_room(mem, make_block("x", range(3), 3))
+
+
+class TestDefaults:
+    def test_weak_gets_lru(self):
+        assert isinstance(default_eviction(ModelParams(2, 4)), LruEviction)
+
+    def test_strong_gets_fifo(self):
+        params = ModelParams(2, 4, PagingModel.STRONG)
+        assert isinstance(default_eviction(params), FifoCopiesEviction)

@@ -1,0 +1,66 @@
+"""Smoke tests: every shipped example runs and prints its story.
+
+These import the example modules and call their ``main()`` with stdout
+captured — full-scale, so the module is marked slow (deselect with
+``-m "not slow"`` for fast iterations).
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+pytestmark = pytest.mark.slow
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    buffer = io.StringIO()
+    spec.loader.exec_module(module)
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart")
+        assert "reproduction holds" in out
+        assert "worst-case walk" in out
+
+    def test_robot_motion_planning(self):
+        out = run_example("robot_motion_planning")
+        assert "pick-and-place shift" in out
+        assert "aisle patrol" in out
+        assert "row-major" in out
+
+    def test_hypertext_browsing(self):
+        out = run_example("hypertext_browsing")
+        assert "hash partition" in out
+        assert "Lemma 13" in out
+
+    def test_btree_tree_search(self):
+        out = run_example("btree_tree_search")
+        assert "point lookups" in out
+        assert "adversarial scan" in out
+
+    def test_matrix_scan(self):
+        out = run_example("matrix_scan")
+        assert "hilbert full pass" in out
+        assert "boundary ping-pong" in out
+
+    def test_dfa_simulation(self):
+        out = run_example("dfa_simulation")
+        assert "DFA" in out
+        assert "forward closures" in out
+
+    def test_constraint_search(self):
+        out = run_example("constraint_search")
+        assert "queens search tree" in out
+        assert "overlapped" in out

@@ -1,0 +1,79 @@
+"""ASCII figure renderings (Figures 4, 6, 7)."""
+
+from repro.analysis.tessellation import ShearedTessellation, UniformTessellation
+from repro.experiments import (
+    all_figures,
+    render_figure4,
+    render_figure6,
+    render_figure7,
+    render_tessellation,
+)
+
+
+class TestRenderTessellation:
+    def test_dimensions(self):
+        text = render_tessellation(UniformTessellation(2, 4), width=16, height=6)
+        lines = text.splitlines()
+        assert len(lines) == 6
+        assert all(len(line) == 16 for line in lines)
+
+    def test_uniform_tiles_are_rectangles(self):
+        text = render_tessellation(UniformTessellation(2, 4), width=8, height=8)
+        lines = text.splitlines()
+        # First 4 rows identical (same tile row), likewise last 4.
+        assert lines[0] == lines[1] == lines[2] == lines[3]
+        assert lines[4] == lines[5] == lines[6] == lines[7]
+        assert lines[0] != lines[4]
+
+    def test_brick_rows_shift(self):
+        text = render_tessellation(ShearedTessellation(2, 4), width=12, height=8)
+        lines = text.splitlines()
+        # Layer 1's glyph boundaries sit mid-tile relative to layer 0:
+        # the boundary column pattern differs between the layers.
+        def boundaries(line):
+            return {i for i, (a, b) in enumerate(zip(line, line[1:])) if a != b}
+
+        assert boundaries(lines[0]) != boundaries(lines[4])
+
+    def test_3d_slice(self):
+        text = render_tessellation(
+            ShearedTessellation(3, 6), width=12, height=6, z=0
+        )
+        assert len(text.splitlines()) == 6
+
+
+class TestFigures:
+    def test_figure4_mentions_both_copies(self):
+        text = render_figure4()
+        assert "copy 0" in text
+        assert "copy 1" in text
+        # The offset copy has a small partial top block: the root's
+        # glyph differs from its grandchildren's in copy 1.
+        assert text.count("strata") == 2
+
+    def test_figure6_sections(self):
+        text = render_figure6()
+        assert "solid tessellation" in text
+        assert "dashed tessellation" in text
+        assert "preferred copy" in text
+        # The chooser map contains both copies.
+        chooser = text.split("preferred copy per cell (most-interior):\n")[1]
+        assert "0" in chooser and "1" in chooser
+
+    def test_figure7_sections(self):
+        text = render_figure7()
+        assert "d = 1" in text
+        assert "brick" in text
+        assert "z = 0" in text
+
+    def test_all_figures_bundles(self):
+        text = all_figures()
+        for token in ("Figure 4", "Figure 6", "Figure 7"):
+            assert token in text
+
+    def test_cli_figures_flag(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out

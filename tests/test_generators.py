@@ -1,0 +1,108 @@
+"""Graph generators."""
+
+import pytest
+
+from repro import GraphError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    is_connected,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges() == 10
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_complete_graph_single(self):
+        assert len(complete_graph(1)) == 1
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges() == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert all(g.degree(v) == 2 for v in g.vertices())
+        assert g.has_edge(4, 0)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_torus_regular(self):
+        g = torus_graph((4, 5))
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert g.num_edges() == 40
+
+    def test_torus_wraps(self):
+        g = torus_graph((4, 4))
+        assert g.has_edge((0, 0), (3, 0))
+        assert g.has_edge((0, 0), (0, 3))
+
+    def test_torus_extent_too_small(self):
+        with pytest.raises(GraphError):
+            torus_graph((2, 4))
+
+    def test_lollipop(self):
+        g = lollipop_graph(5, 3)
+        assert len(g) == 8
+        assert g.degree(7) == 1            # path end
+        assert g.degree(1) == 4            # clique interior
+        assert g.degree(0) == 5            # clique + path attachment
+        assert is_connected(g)
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert len(g) == 16
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+
+class TestRandomFamilies:
+    def test_regular_graph_is_regular_and_connected(self):
+        g = random_regular_graph(30, 4, seed=5)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert is_connected(g)
+
+    def test_regular_graph_deterministic_by_seed(self):
+        a = random_regular_graph(20, 3, seed=9)
+        b = random_regular_graph(20, 3, seed=9)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+    def test_regular_graph_parity_check(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3, seed=0)
+
+    def test_regular_graph_degree_bound(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(4, 4, seed=0)
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(40, seed=2)
+        assert g.num_edges() == 39
+        assert is_connected(g)
+
+    def test_random_tree_tiny(self):
+        assert len(random_tree(1, seed=0)) == 1
+        assert random_tree(2, seed=0).num_edges() == 1
+
+    def test_random_tree_deterministic(self):
+        a = random_tree(25, seed=4)
+        b = random_tree(25, seed=4)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))

@@ -1,0 +1,82 @@
+"""Grid graphs, finite and infinite."""
+
+import pytest
+
+from repro import GraphError, GridGraph, InfiniteGridGraph
+from repro.graphs import bfs_distances, l1_distance
+
+
+class TestInfiniteGrid:
+    def test_neighbors_2d(self):
+        g = InfiniteGridGraph(2)
+        assert set(g.neighbors((0, 0))) == {(1, 0), (-1, 0), (0, 1), (0, -1)}
+
+    def test_degree(self):
+        assert InfiniteGridGraph(3).degree((5, -2, 7)) == 6
+
+    def test_has_vertex_checks_shape(self):
+        g = InfiniteGridGraph(2)
+        assert g.has_vertex((3, -4))
+        assert not g.has_vertex((3,))
+        assert not g.has_vertex((3, 4, 5))
+        assert not g.has_vertex((3.5, 1))
+        assert not g.has_vertex("x")
+
+    def test_bad_dim(self):
+        with pytest.raises(GraphError):
+            InfiniteGridGraph(0)
+
+    def test_neighbors_of_invalid_vertex(self):
+        with pytest.raises(GraphError):
+            InfiniteGridGraph(2).neighbors((1,))
+
+
+class TestFiniteGrid:
+    def test_size(self):
+        assert len(GridGraph((3, 4))) == 12
+
+    def test_corner_degree(self):
+        g = GridGraph((5, 5))
+        assert g.degree((0, 0)) == 2
+        assert g.degree((0, 2)) == 3
+        assert g.degree((2, 2)) == 4
+
+    def test_boundary_clipping(self):
+        g = GridGraph((3, 3))
+        assert set(g.neighbors((0, 0))) == {(1, 0), (0, 1)}
+
+    def test_vertices_enumeration(self):
+        g = GridGraph((2, 3))
+        assert len(list(g.vertices())) == 6
+
+    def test_center(self):
+        assert GridGraph((5, 7)).center() == (2, 3)
+
+    def test_one_dimensional(self):
+        g = GridGraph((6,))
+        assert g.degree((0,)) == 1
+        assert g.degree((3,)) == 2
+
+    def test_single_cell(self):
+        g = GridGraph((1, 1))
+        assert g.neighbors((0, 0)) == []
+
+    def test_bad_shape(self):
+        with pytest.raises(GraphError):
+            GridGraph(())
+        with pytest.raises(GraphError):
+            GridGraph((3, 0))
+
+    def test_distances_are_l1(self):
+        g = GridGraph((7, 7))
+        dist = bfs_distances(g, (3, 3))
+        for v, d in dist.items():
+            assert d == l1_distance((3, 3), v)
+
+    def test_l1_distance(self):
+        assert l1_distance((0, 0, 0), (1, -2, 3)) == 6
+
+    def test_3d_grid(self):
+        g = GridGraph((3, 3, 3))
+        assert len(g) == 27
+        assert g.degree((1, 1, 1)) == 6

@@ -1,0 +1,286 @@
+"""End-to-end scenario tests: the examples' claims, in miniature.
+
+Each test is a small version of one shipped example, asserting the
+*relative* outcome the example narrates — so the examples' stories are
+regression-tested, not just printed.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    ExplicitBlocking,
+    FirstBlockPolicy,
+    ModelParams,
+    Searcher,
+)
+from repro.adversaries import GreedyUncoveredAdversary
+from repro.blockings import (
+    FarthestFaultPolicy,
+    MostInteriorPolicy,
+    lemma13_blocking,
+    naive_subtree_blocking,
+    offset_grid_blocking,
+    overlapped_tree_blocking,
+    uniform_grid_blocking,
+)
+from repro.graphs import (
+    CompleteTree,
+    GridGraph,
+    random_regular_graph,
+    shortest_path,
+)
+from repro.workloads import (
+    boustrophedon_scan,
+    chained_queries,
+    hilbert_scan,
+    pingpong_walk,
+    tree_descents,
+)
+
+
+class TestWarehouseScenario:
+    """robot_motion_planning.py in miniature."""
+
+    def test_tessellation_beats_row_major_on_routes(self):
+        grid = GridGraph((24, 24))
+        B, M = 36, 72
+        ordered = sorted(grid.vertices(), key=lambda v: (v[1], v[0]))
+        row_major = ExplicitBlocking(
+            B,
+            {
+                ("row", i): set(ordered[i * B : (i + 1) * B])
+                for i in range((len(ordered) + B - 1) // B)
+            },
+        )
+        tiles = uniform_grid_blocking(2, B)
+        walk = chained_queries(grid, 30, seed=5)
+        faults = {}
+        for name, blocking in (("row", row_major), ("tiles", tiles)):
+            searcher = Searcher(
+                grid, blocking, FirstBlockPolicy(), ModelParams(B, M),
+                validate_moves=False,
+            )
+            faults[name] = searcher.run_path(walk).faults
+        assert faults["tiles"] < faults["row"]
+
+
+class TestIndexScenario:
+    """btree_tree_search.py in miniature."""
+
+    def test_overlap_insures_against_hostile_scans(self):
+        tree = CompleteTree(2, 40)
+        B, M = 63, 126  # 6 levels per block
+        naive = naive_subtree_blocking(tree, B)
+        overlapped = overlapped_tree_blocking(tree, B)
+        adversary = GreedyUncoveredAdversary(tree, tree.root)
+        naive_trace = Searcher(
+            tree, naive, FirstBlockPolicy(), ModelParams(B, M),
+            validate_moves=False,
+        ).run_adversary(adversary, 2_000)
+        overlap_trace = Searcher(
+            tree, overlapped, MostInteriorPolicy(), ModelParams(B, M),
+            validate_moves=False,
+        ).run_adversary(adversary, 2_000)
+        assert naive_trace.speedup < 2.5       # the collapse
+        assert overlap_trace.speedup > 2.5     # the insurance
+
+    def test_lookups_fine_either_way(self):
+        tree = CompleteTree(2, 30)
+        B, M = 63, 126
+        workload = tree_descents(tree, 20, seed=4)
+        sigmas = {}
+        for name, blocking, policy in (
+            ("naive", naive_subtree_blocking(tree, B), FirstBlockPolicy()),
+            ("overlap", overlapped_tree_blocking(tree, B), MostInteriorPolicy()),
+        ):
+            searcher = Searcher(
+                tree, blocking, policy, ModelParams(B, M), validate_moves=False
+            )
+            sigmas[name] = searcher.run_path(workload).speedup
+        assert sigmas["naive"] > 3
+        assert sigmas["overlap"] > 3
+
+
+class TestBrowsingScenario:
+    """hypertext_browsing.py in miniature."""
+
+    def test_neighborhood_blocks_beat_hash_partition(self):
+        graph = random_regular_graph(128, 4, seed=12)
+        B, M = 8, 32
+        hashed = ExplicitBlocking(
+            B,
+            {
+                ("h", i): {v for v in range(128) if v % (128 // B) == i}
+                for i in range(128 // B)
+            },
+        )
+        nbhd, policy = lemma13_blocking(graph, B)
+        rng = random.Random(1)
+        walk = [0]
+        for _ in range(2_000):
+            walk.append(rng.choice(sorted(graph.neighbors(walk[-1]))))
+        faults = {}
+        faults["hash"] = Searcher(
+            graph, hashed, FirstBlockPolicy(), ModelParams(B, M),
+            validate_moves=False,
+        ).run_path(walk).faults
+        faults["nbhd"] = Searcher(
+            graph, nbhd, policy, ModelParams(B, M), validate_moves=False
+        ).run_path(walk).faults
+        assert faults["nbhd"] < faults["hash"] / 2
+
+
+class TestMatrixScenario:
+    """matrix_scan.py in miniature."""
+
+    def test_hilbert_pass_beats_snake_pass(self):
+        grid = GridGraph((32, 32))
+        B, M = 64, 128
+        tiles = uniform_grid_blocking(2, B)
+        searcher = Searcher(
+            grid, tiles, FirstBlockPolicy(), ModelParams(B, M),
+            validate_moves=False,
+        )
+        snake = searcher.run_path(boustrophedon_scan((32, 32)))
+        hilbert = searcher.run_path(hilbert_scan(5))
+        assert hilbert.faults * 2 < snake.faults
+        # The Hilbert pass touches each tile exactly once.
+        assert hilbert.faults == (32 // 8) ** 2
+
+    def test_seam_pingpong_tamed_by_redundancy(self):
+        grid = GridGraph((32, 32))
+        B, M = 64, 128
+        segment = [(7, y) for y in range(4, 12)] + [
+            (8, y) for y in range(11, 3, -1)
+        ]
+        walk = pingpong_walk(segment, 30)
+        single = Searcher(
+            grid,
+            uniform_grid_blocking(2, B),
+            FirstBlockPolicy(),
+            ModelParams(B, M),
+            validate_moves=False,
+        ).run_path(walk)
+        double = Searcher(
+            grid,
+            offset_grid_blocking(2, B),
+            FarthestFaultPolicy(grid),
+            ModelParams(B, M),
+            validate_moves=False,
+        ).run_path(walk)
+        assert double.faults <= 4
+        assert single.faults > 10 * double.faults
+
+
+class TestDiagonalCornerCollapse:
+    def test_king_moves_make_plain_tiles_worse(self):
+        """On diagonal grids a single king move crosses a tile corner
+        diagonally, so the uniform s=1 tessellation collapses even
+        harder than on ordinary grids; the offset s=2 blocking holds."""
+        from repro import FirstBlockPolicy, ModelParams, simulate_adversary
+        from repro.adversaries import GreedyUncoveredAdversary
+        from repro.blockings import (
+            FarthestFaultPolicy,
+            offset_grid_blocking,
+            uniform_grid_blocking,
+        )
+        from repro.graphs import InfiniteDiagonalGridGraph
+
+        B, M = 64, 192
+        graph = InfiniteDiagonalGridGraph(2)
+        adversary = GreedyUncoveredAdversary(graph, (0, 0), max_radius=40)
+        single = simulate_adversary(
+            graph,
+            uniform_grid_blocking(2, B),
+            FirstBlockPolicy(),
+            ModelParams(B, M),
+            adversary,
+            2_000,
+        )
+        double = simulate_adversary(
+            graph,
+            offset_grid_blocking(2, B),
+            FarthestFaultPolicy(graph),
+            ModelParams(B, M),
+            adversary,
+            2_000,
+        )
+        assert single.speedup < 2.0
+        assert double.speedup > 1.5 * single.speedup
+
+
+class TestGeometricGraphScenario:
+    def test_general_bounds_near_tight_on_geometric_graph(self):
+        """Random geometric graphs are the general theory's home turf:
+        Lemma 13's guarantee holds and the measured sigma is within the
+        Theorem 2 envelope."""
+        from repro import ModelParams, simulate_adversary
+        from repro.adversaries import GreedyUncoveredAdversary
+        from repro.analysis import min_radius, max_radius, theory
+        from repro.blockings import lemma13_blocking
+        from repro.graphs import random_geometric_graph
+
+        graph = random_geometric_graph(300, 0.08, seed=9)
+        B, M = 12, 24
+        blocking, policy = lemma13_blocking(graph, B)
+        r_minus = min_radius(graph, B)
+        r_plus = max_radius(graph, B)
+        trace = simulate_adversary(
+            graph,
+            blocking,
+            policy,
+            ModelParams(B, M),
+            GreedyUncoveredAdversary(graph, 0),
+            4_000,
+        )
+        assert trace.min_gap >= r_minus
+        assert trace.speedup <= theory.steiner_upper(r_plus) + 1e-9
+
+
+class TestConstraintScenario:
+    """constraint_search.py in miniature: 6-queens."""
+
+    def test_overlap_halves_backtracking_faults(self):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "constraint_search_mini",
+            Path(__file__).resolve().parent.parent
+            / "examples"
+            / "constraint_search.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        from repro import FirstBlockPolicy, ModelParams, Searcher
+        from repro.blockings import (
+            MostInteriorPolicy,
+            naive_subtree_blocking,
+            overlapped_tree_blocking,
+        )
+        from repro.graphs import CompleteTree
+        from repro.workloads import is_legal_walk
+
+        n = 6
+        tree = CompleteTree(n, n)
+        walk = module.queens_walk(n)
+        assert is_legal_walk(tree, walk)
+        B = (n ** 4 - 1) // (n - 1)
+        naive = Searcher(
+            tree,
+            naive_subtree_blocking(tree, B),
+            FirstBlockPolicy(),
+            ModelParams(B, B),
+            validate_moves=False,
+        ).run_path(walk)
+        overlap = Searcher(
+            tree,
+            overlapped_tree_blocking(tree, B),
+            MostInteriorPolicy(),
+            ModelParams(B, B),
+            validate_moves=False,
+        ).run_path(walk)
+        assert overlap.faults < naive.faults

@@ -1,0 +1,233 @@
+"""Theorem 1: the laziness transformation never increases reads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ExplicitBlocking, PagingError
+from repro.paging.lazy import (
+    count_reads,
+    flush,
+    is_lazy,
+    lazify,
+    read,
+    validate_schedule,
+)
+
+
+def linear_blocking(n=12, B=3) -> ExplicitBlocking:
+    return ExplicitBlocking(
+        B, {i: set(range(B * i, B * (i + 1))) for i in range(n // B)}
+    )
+
+
+PATH = list(range(12))  # 0..11 through blocks 0..3
+
+
+class TestValidate:
+    def test_minimal_schedule_valid(self):
+        blocking = linear_blocking()
+        schedule = [read(0, 0), read(3, 1), read(6, 2), read(9, 3)]
+        assert validate_schedule(PATH, blocking, 12, schedule) == 4
+
+    def test_uncovered_visit_detected(self):
+        blocking = linear_blocking()
+        with pytest.raises(PagingError):
+            validate_schedule(PATH, blocking, 12, [read(0, 0)])
+
+    def test_capacity_overflow_detected(self):
+        blocking = linear_blocking()
+        schedule = [read(0, 0), read(0, 1), read(0, 2)]
+        with pytest.raises(PagingError):
+            validate_schedule(PATH, blocking, 6, schedule)
+
+    def test_flush_frees_room(self):
+        blocking = linear_blocking()
+        schedule = [
+            read(0, 0),
+            flush(3, 0),
+            read(3, 1),
+            flush(6, 1),
+            read(6, 2),
+            flush(9, 2),
+            read(9, 3),
+        ]
+        assert validate_schedule(PATH, blocking, 3, schedule) == 4
+
+    def test_flush_of_non_resident_detected(self):
+        blocking = linear_blocking()
+        with pytest.raises(PagingError):
+            validate_schedule(PATH, blocking, 12, [flush(0, 2), read(0, 0)])
+
+
+class TestLazify:
+    def test_lazy_schedule_unchanged_count(self):
+        blocking = linear_blocking()
+        schedule = [read(0, 0), read(3, 1), read(6, 2), read(9, 3)]
+        result = lazify(PATH, blocking, 12, schedule)
+        assert count_reads(result) == 4
+        assert is_lazy(PATH, blocking, result)
+
+    def test_useless_read_removed(self):
+        blocking = linear_blocking()
+        # Block 3 is read early and flushed before any of its vertices
+        # is visited: the pair must vanish.
+        schedule = [
+            read(0, 0),
+            read(1, 3),
+            flush(2, 3),
+            read(3, 1),
+            read(6, 2),
+            read(9, 3),
+        ]
+        result = lazify(PATH, blocking, 12, schedule)
+        assert count_reads(result) == 4
+        assert is_lazy(PATH, blocking, result)
+
+    def test_eager_read_postponed(self):
+        blocking = linear_blocking()
+        # Block 1 read way too early (position 0) — should move to its
+        # first use at position 3.
+        schedule = [read(0, 0), read(0, 1), read(6, 2), read(9, 3)]
+        result = lazify(PATH, blocking, 12, schedule)
+        assert count_reads(result) == 4
+        assert is_lazy(PATH, blocking, result)
+        positions = sorted(op.position for op in result)
+        assert positions == [0, 3, 6, 9]
+
+    def test_prefetching_schedule_collapses(self):
+        blocking = linear_blocking()
+        # Everything prefetched at time 0 (capacity 12 allows it).
+        schedule = [read(0, i) for i in range(4)]
+        result = lazify(PATH, blocking, 12, schedule)
+        assert count_reads(result) == 4
+        assert is_lazy(PATH, blocking, result)
+        assert validate_schedule(PATH, blocking, 12, result) == 4
+
+    def test_never_increases_reads(self):
+        blocking = linear_blocking()
+        # Redundant double read of block 0.
+        schedule = [
+            read(0, 0),
+            read(1, 0),
+            flush(2, 0),
+            read(3, 1),
+            read(6, 2),
+            read(9, 3),
+        ]
+        result = lazify(PATH, blocking, 12, schedule)
+        assert count_reads(result) <= count_reads(schedule)
+        assert is_lazy(PATH, blocking, result)
+
+
+class TestLazifyProperty:
+    @given(
+        extra=st.lists(
+            st.tuples(st.integers(0, 11), st.integers(0, 3)), max_size=6
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_prefetches_always_collapse(self, extra):
+        """Start from the minimal fault-driven schedule, sprinkle in
+        arbitrary extra reads (prefetches); lazify must return a valid
+        lazy schedule with no more reads than the input."""
+        blocking = linear_blocking()
+        base = [read(0, 0), read(3, 1), read(6, 2), read(9, 3)]
+        schedule = base + [read(pos, bid) for pos, bid in extra]
+        # Generous capacity so the input is valid.
+        capacity = 3 * len(schedule)
+        validate_schedule(PATH, blocking, capacity, schedule)
+        result = lazify(PATH, blocking, capacity, schedule)
+        assert count_reads(result) <= count_reads(schedule)
+        assert is_lazy(PATH, blocking, result)
+        validate_schedule(PATH, blocking, capacity, result)
+
+
+class TestScheduleFromTrace:
+    def test_engine_traces_are_lazy(self):
+        """Theorem 1 closes the loop: schedules reconstructed from real
+        engine runs are already lazy and lazify() leaves their read
+        count unchanged."""
+        from repro import FirstBlockPolicy, ModelParams, simulate_path
+        from repro.graphs import path_graph
+        from repro.paging.lazy import lazify, schedule_from_trace
+
+        graph = path_graph(12)
+        blocking = linear_blocking()
+        path = list(range(12)) + list(range(10, -1, -1))
+        trace = simulate_path(
+            graph, blocking, FirstBlockPolicy(), ModelParams(3, 12), path
+        )
+        schedule = schedule_from_trace(path, blocking, trace)
+        assert is_lazy(path, blocking, schedule)
+        assert count_reads(schedule) == trace.blocks_read
+        result = lazify(path, blocking, 12 * len(schedule), schedule)
+        assert count_reads(result) == count_reads(schedule)
+
+    def test_fault_positions_match_gaps(self):
+        from repro import FirstBlockPolicy, ModelParams, simulate_path
+        from repro.graphs import path_graph
+        from repro.paging.lazy import schedule_from_trace
+
+        graph = path_graph(12)
+        blocking = linear_blocking()
+        path = list(range(12))
+        trace = simulate_path(
+            graph, blocking, FirstBlockPolicy(), ModelParams(3, 12), path
+        )
+        schedule = schedule_from_trace(path, blocking, trace)
+        positions = [op.position for op in schedule]
+        # Gaps are the deltas between consecutive fault positions.
+        deltas = [positions[0]] + [
+            b - a for a, b in zip(positions, positions[1:])
+        ]
+        assert deltas == trace.fault_gaps
+
+    def test_too_few_reads_detected(self):
+        from repro import PagingError
+        from repro.core.stats import SearchTrace
+        from repro.paging.lazy import schedule_from_trace
+
+        blocking = linear_blocking()
+        fake = SearchTrace(block_reads=[0])  # only covers 0..2
+        with pytest.raises(PagingError):
+            schedule_from_trace(list(range(12)), blocking, fake)
+
+    def test_wrong_read_detected(self):
+        from repro import PagingError
+        from repro.core.stats import SearchTrace
+        from repro.paging.lazy import schedule_from_trace
+
+        blocking = linear_blocking()
+        fake = SearchTrace(block_reads=[1])  # does not cover vertex 0
+        with pytest.raises(PagingError):
+            schedule_from_trace([0], blocking, fake)
+
+
+class TestLazifyWithFlushes:
+    @given(
+        prefetch=st.lists(st.integers(0, 3), min_size=0, max_size=4),
+        hold=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_read_flush_pairs_collapse(self, prefetch, hold):
+        """Schedules that prefetch blocks and flush them again (proper
+        nesting, one copy per block at a time) always lazify without
+        extra reads."""
+        blocking = linear_blocking()
+        base = [read(0, 0), read(3, 1), read(6, 2), read(9, 3)]
+        extra = []
+        position = 0
+        for bid in prefetch:
+            # Prefetch at `position`, flush `hold` positions later —
+            # a transient extra copy of block `bid`.
+            extra.append(read(position, bid))
+            extra.append(flush(min(position + hold, 11), bid))
+            position = (position + 3) % 10
+        schedule = base + extra
+        capacity = 3 * (len(schedule) + 1)
+        validate_schedule(PATH, blocking, capacity, schedule)
+        result = lazify(PATH, blocking, capacity, schedule)
+        assert count_reads(result) <= count_reads(schedule)
+        assert is_lazy(PATH, blocking, result)
+        validate_schedule(PATH, blocking, capacity, result)

@@ -1,0 +1,107 @@
+"""Maximal matchings and path packings."""
+
+import pytest
+
+from repro import AnalysisError
+from repro.analysis import (
+    find_simple_path,
+    matching_is_maximal,
+    maximal_matching,
+    maximal_path_packing,
+)
+from repro.graphs import (
+    AdjacencyGraph,
+    GridGraph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestMaximalMatching:
+    def test_vertex_disjoint(self):
+        matching = maximal_matching(GridGraph((5, 5)))
+        used = [v for edge in matching for v in edge]
+        assert len(used) == len(set(used))
+
+    def test_edges_exist(self):
+        g = cycle_graph(9)
+        for u, v in maximal_matching(g):
+            assert g.has_edge(u, v)
+
+    def test_maximality(self):
+        for g in (path_graph(11), cycle_graph(8), complete_graph(7), star_graph(5)):
+            assert matching_is_maximal(g, maximal_matching(g))
+
+    def test_star_matches_one_edge(self):
+        assert len(maximal_matching(star_graph(10))) == 1
+
+    def test_edgeless_graph(self):
+        g = AdjacencyGraph([1, 2, 3])
+        assert maximal_matching(g) == []
+
+    def test_is_maximal_detects_slack(self):
+        g = path_graph(4)  # edges 0-1, 1-2, 2-3
+        assert not matching_is_maximal(g, [(1, 2)] if False else [])
+        assert not matching_is_maximal(g, [])
+
+
+class TestFindSimplePath:
+    def test_finds_exact_length(self):
+        path = find_simple_path(path_graph(10), 4, range(10))
+        assert len(path) == 4
+        assert len(set(path)) == 4
+
+    def test_respects_allowed_set(self):
+        path = find_simple_path(path_graph(10), 3, [4, 5, 6])
+        assert set(path) == {4, 5, 6}
+
+    def test_none_when_impossible(self):
+        assert find_simple_path(path_graph(3), 4, range(3)) is None
+
+    def test_none_when_allowed_disconnected(self):
+        assert find_simple_path(path_graph(10), 3, [0, 1, 7]) is None
+
+    def test_single_vertex_path(self):
+        assert find_simple_path(path_graph(3), 1, [2]) == [2]
+
+    def test_invalid_length(self):
+        with pytest.raises(AnalysisError):
+            find_simple_path(path_graph(3), 0, [0])
+
+    def test_backtracking_required(self):
+        # A "T" shape: the greedy walk down the short arm must
+        # backtrack to find the 4-vertex path along the long arm.
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (1, 3), (3, 4)])
+        path = find_simple_path(g, 4, [0, 1, 3, 4])
+        assert path is not None
+        assert len(path) == 4
+
+
+class TestPathPacking:
+    def test_disjoint(self):
+        packing = maximal_path_packing(GridGraph((4, 4)), 3)
+        used = [v for p in packing for v in p]
+        assert len(used) == len(set(used))
+
+    def test_paths_valid(self):
+        g = GridGraph((4, 4))
+        for p in maximal_path_packing(g, 3):
+            assert len(p) == 3
+            for a, b in zip(p, p[1:]):
+                assert b in g.neighbors(a)
+
+    def test_maximal(self):
+        g = GridGraph((4, 4))
+        packing = maximal_path_packing(g, 3)
+        used = {v for p in packing for v in p}
+        remaining = set(g.vertices()) - used
+        assert find_simple_path(g, 3, remaining) is None
+
+    def test_path_graph_perfect_packing(self):
+        packing = maximal_path_packing(path_graph(9), 3)
+        assert len(packing) == 3
+
+    def test_too_small_graph(self):
+        assert maximal_path_packing(path_graph(2), 3) == []

@@ -1,0 +1,140 @@
+"""Weak and strong memory models (Section 2, item 5)."""
+
+import pytest
+
+from repro import ModelParams, PagingError, PagingModel, StrongMemory, WeakMemory
+from repro.core.block import make_block
+from repro.core.memory import make_memory
+
+
+def block(bid, vertices, B=4):
+    return make_block(bid, vertices, B)
+
+
+class TestWeakMemory:
+    def make(self, B=4, M=8) -> WeakMemory:
+        return WeakMemory(ModelParams(B, M))
+
+    def test_load_covers(self):
+        mem = self.make()
+        mem.load(block("a", {1, 2}))
+        assert mem.covers(1)
+        assert not mem.covers(3)
+
+    def test_occupancy_counts_copies(self):
+        mem = self.make()
+        mem.load(block("a", {1, 2}))
+        mem.load(block("b", {2, 3}))
+        assert mem.occupancy == 4
+        assert mem.copies_of(2) == 2
+
+    def test_capacity_enforced(self):
+        mem = self.make(B=4, M=4)
+        mem.load(block("a", {1, 2, 3, 4}))
+        with pytest.raises(PagingError):
+            mem.load(block("b", {5}))
+
+    def test_reload_resident_block_is_noop(self):
+        mem = self.make()
+        mem.load(block("a", {1, 2}))
+        mem.load(block("a", {1, 2}))
+        assert mem.occupancy == 2
+
+    def test_evict_block_removes_copies(self):
+        mem = self.make()
+        mem.load(block("a", {1, 2}))
+        mem.load(block("b", {2, 3}))
+        mem.evict_block("a")
+        assert not mem.covers(1)
+        assert mem.covers(2)  # still held by b
+        assert mem.occupancy == 2
+
+    def test_evict_non_resident_raises(self):
+        with pytest.raises(PagingError):
+            self.make().evict_block("ghost")
+
+    def test_lru_order_tracks_loads(self):
+        mem = self.make(M=12)
+        mem.load(block("a", {1}))
+        mem.load(block("b", {2}))
+        mem.load(block("c", {3}))
+        assert mem.lru_order() == ["a", "b", "c"]
+
+    def test_touch_refreshes_recency(self):
+        mem = self.make(M=12)
+        mem.load(block("a", {1}))
+        mem.load(block("b", {2}))
+        mem.touch(1)  # block a used again
+        assert mem.lru_order() == ["b", "a"]
+
+    def test_touch_uncovered_vertex_noop(self):
+        mem = self.make()
+        mem.load(block("a", {1}))
+        mem.touch(42)
+        assert mem.lru_order() == ["a"]
+
+    def test_covered_vertices(self):
+        mem = self.make()
+        mem.load(block("a", {1, 2}))
+        assert mem.covered_vertices() == {1, 2}
+
+    def test_is_resident(self):
+        mem = self.make()
+        mem.load(block("a", {1}))
+        assert mem.is_resident("a")
+        assert not mem.is_resident("b")
+
+
+class TestStrongMemory:
+    def make(self, B=4, M=8) -> StrongMemory:
+        return StrongMemory(ModelParams(B, M, PagingModel.STRONG))
+
+    def test_load_covers(self):
+        mem = self.make()
+        mem.load(block("a", {1, 2}))
+        assert mem.covers(1)
+
+    def test_evict_oldest_partial(self):
+        # The strong model's distinguishing power: flush part of a block.
+        mem = self.make()
+        mem.load(block("a", {1, 2, 3, 4}))
+        before = mem.covered_vertices()
+        mem.evict_oldest(2)
+        after = mem.covered_vertices()
+        assert mem.occupancy == 2
+        assert len(before - after) == 2
+
+    def test_evict_more_than_resident_raises(self):
+        mem = self.make()
+        mem.load(block("a", {1}))
+        with pytest.raises(PagingError):
+            mem.evict_oldest(5)
+
+    def test_evict_all(self):
+        mem = self.make()
+        mem.load(block("a", {1, 2}))
+        mem.evict_all()
+        assert mem.occupancy == 0
+        assert not mem.covers(1)
+
+    def test_duplicate_copies_counted(self):
+        mem = self.make()
+        mem.load(block("a", {1, 2}))
+        mem.load(block("b", {1, 3}))
+        assert mem.copies_of(1) == 2
+        assert mem.occupancy == 4
+
+    def test_capacity_enforced(self):
+        mem = self.make(B=4, M=4)
+        mem.load(block("a", {1, 2, 3}))
+        with pytest.raises(PagingError):
+            mem.load(block("b", {4, 5}))
+
+
+class TestMakeMemory:
+    def test_weak(self):
+        assert isinstance(make_memory(ModelParams(2, 4)), WeakMemory)
+
+    def test_strong(self):
+        params = ModelParams(2, 4, PagingModel.STRONG)
+        assert isinstance(make_memory(params), StrongMemory)

@@ -1,0 +1,47 @@
+"""ModelParams validation (Section 2 model assumptions)."""
+
+import pytest
+
+from repro import ModelError, ModelParams, PagingModel
+
+
+class TestModelParams:
+    def test_defaults_to_weak_model(self):
+        params = ModelParams(4, 16)
+        assert params.paging_model is PagingModel.WEAK
+
+    def test_block_size_must_be_positive(self):
+        with pytest.raises(ModelError):
+            ModelParams(0, 16)
+
+    def test_negative_block_size_rejected(self):
+        with pytest.raises(ModelError):
+            ModelParams(-3, 16)
+
+    def test_memory_must_hold_one_block(self):
+        with pytest.raises(ModelError):
+            ModelParams(8, 4)
+
+    def test_memory_equal_to_block_allowed(self):
+        # B = M is explicitly allowed (Lemma 1 works even there).
+        params = ModelParams(8, 8)
+        assert params.blocks_in_memory == 1
+
+    def test_blocks_in_memory_floor(self):
+        assert ModelParams(4, 15).blocks_in_memory == 3
+
+    def test_rho(self):
+        assert ModelParams(4, 10).rho(100) == pytest.approx(10.0)
+
+    def test_rho_rejects_empty_graph(self):
+        with pytest.raises(ModelError):
+            ModelParams(4, 10).rho(0)
+
+    def test_frozen(self):
+        params = ModelParams(4, 16)
+        with pytest.raises(AttributeError):
+            params.block_size = 8
+
+    def test_strong_model_choice(self):
+        params = ModelParams(4, 16, PagingModel.STRONG)
+        assert params.paging_model is PagingModel.STRONG

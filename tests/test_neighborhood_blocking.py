@@ -1,0 +1,147 @@
+"""Compact-neighborhood blockings (Lemma 13, Theorems 4 and 6)."""
+
+import math
+
+import pytest
+
+from repro import BlockingError, ModelParams, simulate_adversary
+from repro.adversaries import GreedyUncoveredAdversary
+from repro.analysis import min_ball_volume, min_radius
+from repro.analysis.theory import thm4_blowup, thm6_blowup
+from repro.blockings import (
+    compact_neighborhood_blocking,
+    lemma13_blocking,
+    theorem4_blocking,
+    theorem6_blocking,
+)
+from repro.graphs import cycle_graph, path_graph, torus_graph
+
+
+class TestCompactNeighborhoodBlocking:
+    def test_blocks_are_compact_neighborhoods(self, torus8):
+        blocking = compact_neighborhood_blocking(torus8, 13)
+        block = blocking.block(("nbhd", (0, 0)))
+        assert len(block) == 13
+        assert (0, 0) in block
+
+    def test_default_centers_every_vertex(self, torus8):
+        blocking = compact_neighborhood_blocking(torus8, 13)
+        assert blocking.num_blocks() == len(torus8)
+
+    def test_blowup_is_b_for_all_centers(self, torus8):
+        """Lemma 13: one block per vertex gives s = B exactly."""
+        blocking = compact_neighborhood_blocking(torus8, 13)
+        assert blocking.storage_blowup() == pytest.approx(13.0)
+
+    def test_sparse_centers_must_cover(self, torus8):
+        with pytest.raises(BlockingError):
+            compact_neighborhood_blocking(torus8, 5, centers=[(0, 0)])
+
+    def test_empty_centers_rejected(self, torus8):
+        with pytest.raises(BlockingError):
+            compact_neighborhood_blocking(torus8, 5, centers=[])
+
+
+class TestLemma13:
+    def test_guarantee_on_torus(self):
+        """sigma >= r^-(B) against the strongest adversary we have."""
+        graph = torus_graph((8, 8))
+        B = 13
+        blocking, policy = lemma13_blocking(graph, B)
+        r_minus = min_radius(graph, B)
+        trace = simulate_adversary(
+            graph,
+            blocking,
+            policy,
+            ModelParams(B, B),
+            GreedyUncoveredAdversary(graph, (0, 0)),
+            3_000,
+        )
+        assert trace.min_gap >= r_minus
+        assert trace.steady_speedup >= r_minus
+
+    def test_guarantee_on_cycle(self):
+        graph = cycle_graph(64)
+        B = 9
+        blocking, policy = lemma13_blocking(graph, B)
+        r_minus = min_radius(graph, B)  # 4
+        trace = simulate_adversary(
+            graph,
+            blocking,
+            policy,
+            ModelParams(B, B),
+            GreedyUncoveredAdversary(graph, 0),
+            2_000,
+        )
+        assert trace.min_gap >= r_minus
+
+
+class TestTheorem4:
+    def test_blowup_reduced(self):
+        """The ball-cover centers cut the blow-up well below B (needs a
+        graph whose r^-(B) is large enough for a nontrivial cover
+        radius; on a long cycle r^-(B) = floor(B/2))."""
+        graph = cycle_graph(120)
+        B = 11  # r^-(11) = 6 on a cycle: cover radius 3, Corollary 2 kicks in
+        blocking, _ = theorem4_blocking(graph, B)
+        assert blocking.storage_blowup() < B / 2
+
+    def test_speedup_guarantee(self):
+        graph = torus_graph((10, 10))
+        B = 13
+        blocking, policy = theorem4_blocking(graph, B)
+        r_minus = min_radius(graph, B)
+        trace = simulate_adversary(
+            graph,
+            blocking,
+            policy,
+            ModelParams(B, B),
+            GreedyUncoveredAdversary(graph, (0, 0)),
+            3_000,
+        )
+        assert trace.min_gap >= math.ceil(r_minus / 2)
+
+    def test_too_small_graph_rejected(self):
+        with pytest.raises(BlockingError):
+            theorem4_blocking(path_graph(4), 8)
+
+
+class TestTheorem6:
+    def test_blowup_bound(self):
+        graph = torus_graph((10, 10))
+        B = 13
+        blocking, _ = theorem6_blocking(graph, B)
+        r_minus = min_radius(graph, B)
+        bound = thm6_blowup(B, min_ball_volume(graph, int(r_minus) // 4))
+        # Theorem 6's bound counts blocks; measured blow-up respects it
+        # (blocks per cover center, B slots each).
+        assert blocking.storage_blowup() <= bound + 1e-9
+
+    def test_speedup_guarantee(self):
+        graph = torus_graph((10, 10))
+        B = 13
+        blocking, policy = theorem6_blocking(graph, B)
+        r_minus = min_radius(graph, B)
+        trace = simulate_adversary(
+            graph,
+            blocking,
+            policy,
+            ModelParams(B, B),
+            GreedyUncoveredAdversary(graph, (0, 0)),
+            3_000,
+        )
+        assert trace.min_gap >= math.ceil(r_minus / 2)
+
+
+class TestBlowupFormulas:
+    def test_thm4_formula(self):
+        assert thm4_blowup(12, 3.0) == 12.0
+
+    def test_measured_vs_thm4_bound_on_cycle(self):
+        """On a long cycle the Theorem 4 blow-up bound 3B/r^-(B) holds
+        comfortably (r^-(B) = floor(B/2) there)."""
+        graph = cycle_graph(120)
+        B = 9
+        blocking, _ = theorem4_blocking(graph, B)
+        r_minus = min_radius(graph, B)
+        assert blocking.storage_blowup() <= thm4_blowup(B, r_minus)

@@ -1,0 +1,111 @@
+"""Balls, volumes, and compact k-neighborhoods (Definitions 1-3, 7; Lemma 2)."""
+
+import math
+
+import pytest
+
+from repro import AnalysisError
+from repro.analysis import ball, ball_volume, breakout_distance, compact_neighborhood
+from repro.graphs import GridGraph, InfiniteGridGraph, path_graph
+
+
+class TestBall:
+    def test_ball_contents(self):
+        b = ball(path_graph(10), 5, 2)
+        assert set(b) == {3, 4, 5, 6, 7}
+
+    def test_ball_radius_zero(self):
+        assert set(ball(path_graph(10), 5, 0)) == {5}
+
+    def test_negative_radius(self):
+        with pytest.raises(AnalysisError):
+            ball(path_graph(10), 5, -1)
+
+    def test_volume_on_grid(self):
+        g = GridGraph((9, 9))
+        assert ball_volume(g, (4, 4), 1) == 5
+        assert ball_volume(g, (4, 4), 2) == 13
+
+    def test_volume_clipped_at_boundary(self):
+        g = GridGraph((9, 9))
+        assert ball_volume(g, (0, 0), 1) == 3
+
+    def test_works_on_infinite_graph(self):
+        g = InfiniteGridGraph(2)
+        assert ball_volume(g, (0, 0), 2) == 13
+
+
+class TestCompactNeighborhood:
+    def test_contains_center(self):
+        n = compact_neighborhood(path_graph(10), 5, 3)
+        assert 5 in n
+        assert len(n) == 3
+
+    def test_radius_is_distance_to_nearest_excluded(self):
+        # Path: 3 nearest of vertex 5 are {5,4,6} (some tie order);
+        # nearest excluded vertex is at distance 2.
+        n = compact_neighborhood(path_graph(10), 5, 3)
+        assert n.radius == 2
+
+    def test_is_connected(self):
+        """Lemma 2: BFS order always yields a connected compact
+        neighborhood."""
+        g = GridGraph((7, 7))
+        n = compact_neighborhood(g, (3, 3), 9)
+        members = set(n.vertices)
+        # BFS within members from the center must reach all of them.
+        frontier = [(3, 3)]
+        seen = {(3, 3)}
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in g.neighbors(u):
+                    if v in members and v not in seen:
+                        seen.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        assert seen == members
+
+    def test_radius_maximality(self):
+        """No k-neighborhood can have a larger break-out distance than
+        the compact one (spot-check against random k-subsets)."""
+        import itertools
+
+        g = path_graph(8)
+        k = 3
+        best = compact_neighborhood(g, 4, k).radius
+        for combo in itertools.combinations(range(8), k):
+            if 4 not in combo:
+                continue
+            assert breakout_distance(g, 4, combo) <= best
+
+    def test_whole_graph_radius_infinite(self):
+        n = compact_neighborhood(path_graph(3), 1, 3)
+        assert math.isinf(n.radius)
+
+    def test_k_too_small(self):
+        with pytest.raises(AnalysisError):
+            compact_neighborhood(path_graph(5), 0, 0)
+
+    def test_infinite_graph(self):
+        g = InfiniteGridGraph(2)
+        n = compact_neighborhood(g, (0, 0), 13)
+        # The 13 nearest form exactly the ball of radius 2; the nearest
+        # excluded vertex sits at distance 3.
+        assert n.radius == 3
+
+
+class TestBreakout:
+    def test_breakout_simple(self):
+        assert breakout_distance(path_graph(10), 5, {4, 5, 6}) == 2
+
+    def test_breakout_disconnected_neighborhood(self):
+        # N need not be connected (Definition 1).
+        assert breakout_distance(path_graph(10), 5, {5, 9}) == 1
+
+    def test_center_must_be_member(self):
+        with pytest.raises(AnalysisError):
+            breakout_distance(path_graph(10), 5, {1, 2})
+
+    def test_whole_graph_infinite(self):
+        assert math.isinf(breakout_distance(path_graph(3), 1, {0, 1, 2}))

@@ -1,0 +1,125 @@
+"""Lemma 1: off-line paging achieves speed-up B, even at B = M."""
+
+import pytest
+
+from repro import ModelParams, PagingError, simulate_path
+from repro.graphs import cycle_graph, path_graph
+from repro.paging.eviction import EvictAllPolicy
+from repro.paging.offline import OfflineWindowPolicy, path_windows_blocking
+
+
+class TestPathWindowsBlocking:
+    def test_every_position_has_window(self):
+        path = list(range(10))
+        blocking = path_windows_blocking(path, 4)
+        assert blocking.block(("window", 0)).vertices == frozenset({0, 1, 2, 3})
+        assert blocking.block(("window", 8)).vertices == frozenset({8, 9})
+
+    def test_revisits_compress(self):
+        # A window spans B path *positions*; revisits collapse in the set.
+        path = [0, 1, 0, 1, 2]
+        blocking = path_windows_blocking(path, 4)
+        assert blocking.block(("window", 0)).vertices == frozenset({0, 1})
+        assert blocking.block(("window", 1)).vertices == frozenset({0, 1, 2})
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(PagingError):
+            path_windows_blocking([], 4)
+
+
+class TestLemma1:
+    def test_speedup_b_with_m_equals_b(self):
+        """The lemma's headline: sigma >= B even when B = M."""
+        B = 5
+        graph = path_graph(40)
+        path = list(range(40))
+        blocking = path_windows_blocking(path, B)
+        trace = simulate_path(
+            graph,
+            blocking,
+            OfflineWindowPolicy(path),
+            ModelParams(B, B),
+            path,
+            eviction=EvictAllPolicy(),
+        )
+        assert trace.min_gap >= B
+        assert trace.steady_speedup >= B
+
+    def test_speedup_on_revisiting_walk(self):
+        """The guarantee also holds for walks that revisit vertices."""
+        B = 4
+        graph = cycle_graph(6)
+        # Loop the cycle three times: heavy revisiting.
+        path = [i % 6 for i in range(19)]
+        blocking = path_windows_blocking(path, B)
+        trace = simulate_path(
+            graph,
+            blocking,
+            OfflineWindowPolicy(path),
+            ModelParams(B, B),
+            path,
+            eviction=EvictAllPolicy(),
+        )
+        assert trace.min_gap >= B
+
+    def test_fault_beyond_path_raises(self):
+        B = 4
+        path = list(range(8))
+        blocking = path_windows_blocking(path, B)
+        policy = OfflineWindowPolicy(path)
+        graph = path_graph(16)
+        with pytest.raises(PagingError):
+            simulate_path(
+                graph,
+                blocking,
+                policy,
+                ModelParams(B, B),
+                list(range(8)) + [8],  # steps off the declared path
+                eviction=EvictAllPolicy(),
+            )
+
+    def test_policy_reset_allows_reuse(self):
+        B = 4
+        graph = path_graph(16)
+        path = list(range(16))
+        blocking = path_windows_blocking(path, B)
+        policy = OfflineWindowPolicy(path)
+        for _ in range(2):
+            trace = simulate_path(
+                graph,
+                blocking,
+                policy,
+                ModelParams(B, B),
+                path,
+                eviction=EvictAllPolicy(),
+            )
+            assert trace.min_gap >= B
+
+
+class TestLemma1Property:
+    def test_random_walks_always_get_b(self):
+        """Lemma 1 on seeded random walks over a cycle: the window
+        blocking plus the off-line policy delivers min gap >= B for
+        every walk tried."""
+        import random
+
+        from repro.graphs import cycle_graph
+
+        B = 5
+        graph = cycle_graph(30)
+        for seed in range(8):
+            rng = random.Random(seed)
+            walk = [0]
+            for _ in range(120):
+                nbrs = sorted(graph.neighbors(walk[-1]))
+                walk.append(rng.choice(nbrs))
+            blocking = path_windows_blocking(walk, B)
+            trace = simulate_path(
+                graph,
+                blocking,
+                OfflineWindowPolicy(walk),
+                ModelParams(B, B),
+                walk,
+                eviction=EvictAllPolicy(),
+            )
+            assert trace.min_gap >= B, f"seed {seed}"

@@ -1,0 +1,119 @@
+"""Exact off-line optimum (choice + eviction) on small instances."""
+
+import pytest
+
+from repro import (
+    ExplicitBlocking,
+    FirstBlockPolicy,
+    ModelParams,
+    PagingError,
+    simulate_path,
+)
+from repro.graphs import cycle_graph, path_graph
+from repro.paging import belady_trace
+from repro.paging.optimal import optimal_offline_faults, policy_optimality_gap
+from repro.workloads import pingpong_walk
+
+
+def linear_blocking(n, B):
+    return ExplicitBlocking(
+        B, {i: set(range(B * i, B * (i + 1))) for i in range(n // B)}
+    )
+
+
+class TestAgainstBelady:
+    """With s = 1 the exact search must agree with Belady MIN."""
+
+    @pytest.mark.parametrize("laps", [1, 3])
+    def test_cycle(self, laps):
+        n, B, M = 12, 3, 6
+        blocking = linear_blocking(n, B)
+        path = [i % n for i in range(laps * n + 1)]
+        exact = optimal_offline_faults(path, blocking, ModelParams(B, M))
+        belady = belady_trace(path, blocking, ModelParams(B, M)).faults
+        assert exact == belady
+
+    def test_pingpong(self):
+        n, B, M = 12, 3, 6
+        blocking = linear_blocking(n, B)
+        path = pingpong_walk(list(range(n)), 3)
+        exact = optimal_offline_faults(path, blocking, ModelParams(B, M))
+        belady = belady_trace(path, blocking, ModelParams(B, M)).faults
+        assert exact == belady
+
+    def test_scan(self):
+        n, B, M = 12, 3, 6
+        blocking = linear_blocking(n, B)
+        exact = optimal_offline_faults(list(range(n)), blocking, ModelParams(B, M))
+        assert exact == n // B
+
+
+class TestWithRedundancy:
+    def test_choice_matters(self):
+        """A hand-built s=2 instance where the right copy choice saves
+        a read: vertices 0..5; copy A = {0,1,2},{3,4,5}; copy B =
+        {1,2,3},{4,5,0}. Walking 0..5 with M=2 blocks, the optimum uses
+        copy A twice (2 reads); a bad chooser can be forced into 3."""
+        blocking = ExplicitBlocking(
+            3,
+            {
+                ("A", 0): {0, 1, 2},
+                ("A", 1): {3, 4, 5},
+                ("B", 0): {1, 2, 3},
+                ("B", 1): {4, 5, 0},
+            },
+        )
+        path = [0, 1, 2, 3, 4, 5]
+        exact = optimal_offline_faults(path, blocking, ModelParams(3, 6))
+        assert exact == 2
+
+    def test_never_exceeds_online(self):
+        from repro.blockings import offset_1d_blocking, MostInteriorPolicy
+        from repro.graphs import InfiniteGridGraph
+
+        graph = InfiniteGridGraph(1)
+        B, M = 4, 8
+        blocking = offset_1d_blocking(B)
+        path = [(i,) for i in range(16)] + [(i,) for i in range(14, -1, -1)]
+        online = simulate_path(
+            graph, blocking, MostInteriorPolicy(), ModelParams(B, M), path
+        )
+        gap = policy_optimality_gap(
+            path, blocking, ModelParams(B, M), online.faults
+        )
+        assert gap >= 1.0
+        assert gap < 3.0
+
+    def test_online_lemma20_policy_is_optimal_on_scan(self):
+        """The contiguous s=1 blocking with LRU is optimal for a
+        straight scan: gap exactly 1."""
+        n, B, M = 16, 4, 8
+        graph = path_graph(n)
+        blocking = linear_blocking(n, B)
+        online = simulate_path(
+            graph, blocking, FirstBlockPolicy(), ModelParams(B, M), range(n)
+        )
+        gap = policy_optimality_gap(
+            list(range(n)), blocking, ModelParams(B, M), online.faults
+        )
+        assert gap == 1.0
+
+
+class TestGuards:
+    def test_state_budget(self):
+        n, B, M = 30, 3, 15
+        blocking = linear_blocking(n, B)
+        path = [i % n for i in range(8 * n)]
+        with pytest.raises(PagingError):
+            optimal_offline_faults(
+                path, blocking, ModelParams(B, M), max_states=50
+            )
+
+    def test_uncovered_vertex(self):
+        blocking = linear_blocking(6, 3)
+        with pytest.raises(PagingError):
+            optimal_offline_faults([99], blocking, ModelParams(3, 6))
+
+    def test_empty_path(self):
+        blocking = linear_blocking(6, 3)
+        assert optimal_offline_faults([], blocking, ModelParams(3, 6)) == 0

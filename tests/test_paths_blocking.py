@@ -1,0 +1,66 @@
+"""The Lemma 1 all-walks blocking and its off-line policy."""
+
+import pytest
+
+from repro import BlockingError, ModelParams, simulate_path
+from repro.blockings import OfflineWalkPolicy, all_walks_blocking
+from repro.graphs import complete_graph, cycle_graph, path_graph
+from repro.paging.eviction import EvictAllPolicy
+
+
+class TestAllWalksBlocking:
+    def test_every_window_present(self):
+        graph = path_graph(8)
+        blocking = all_walks_blocking(graph, 3)
+        # The straight window {2,3,4} is a walk of 3 vertices.
+        assert frozenset({2, 3, 4}) in blocking.blocks_for(3)
+
+    def test_blocks_are_walk_sets(self):
+        graph = cycle_graph(6)
+        blocking = all_walks_blocking(graph, 3)
+        for bid in blocking.block_ids():
+            assert len(blocking.block(bid)) <= 3
+
+    def test_blowup_is_large(self):
+        """The lemma's point: 'the storage blow-up is large'."""
+        graph = cycle_graph(8)
+        blocking = all_walks_blocking(graph, 4)
+        assert blocking.storage_blowup() > 2.0
+
+    def test_guard_rail(self):
+        with pytest.raises(BlockingError):
+            all_walks_blocking(complete_graph(12), 10)
+
+
+class TestOfflineWalkPolicy:
+    def test_lemma1_speedup_b_equals_m(self):
+        B = 4
+        graph = cycle_graph(12)
+        path = [i % 12 for i in range(37)]  # three laps
+        blocking = all_walks_blocking(graph, B)
+        trace = simulate_path(
+            graph,
+            blocking,
+            OfflineWalkPolicy(path),
+            ModelParams(B, B),
+            path,
+            eviction=EvictAllPolicy(),
+        )
+        assert trace.min_gap >= B
+
+    def test_zigzag_walk(self):
+        """Walks that bounce back and forth still get the guarantee —
+        windows of B positions may hold fewer than B distinct vertices."""
+        B = 4
+        graph = path_graph(10)
+        path = [0, 1, 0, 1, 2, 3, 2, 3, 4, 5, 4, 5, 6, 7, 6, 7, 8, 9]
+        blocking = all_walks_blocking(graph, B)
+        trace = simulate_path(
+            graph,
+            blocking,
+            OfflineWalkPolicy(path),
+            ModelParams(B, B),
+            path,
+            eviction=EvictAllPolicy(),
+        )
+        assert trace.min_gap >= B

@@ -1,0 +1,302 @@
+"""Hypothesis property tests on the core invariants.
+
+These complement the example-based suites with randomized structure:
+random graphs, random walks, random blockings — checking the paper's
+definitional invariants wherever they must hold.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ExplicitBlocking, FirstBlockPolicy, ModelParams, simulate_path
+from repro.analysis import (
+    ball_cover_packing,
+    compact_neighborhood,
+    is_ball_cover,
+    maximal_matching,
+    matching_is_maximal,
+    vertex_radius,
+)
+from repro.analysis.theory import (
+    grid_ball_volume_exact,
+    grid_radius_exact,
+    smallest_prime_at_least,
+)
+from repro.core.memory import WeakMemory
+from repro.core.block import make_block
+from repro.graphs import AdjacencyGraph, is_connected, random_tree
+from repro.graphs.traversal import bfs_distances
+
+
+# -- strategies -------------------------------------------------------------
+
+
+@st.composite
+def connected_graphs(draw, max_n=24):
+    """A random connected graph: a random tree plus random extra edges."""
+    n = draw(st.integers(3, max_n))
+    seed = draw(st.integers(0, 10_000))
+    graph = random_tree(n, seed=seed)
+    extra = draw(st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                          max_size=n))
+    for u, v in extra:
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+# -- radii ------------------------------------------------------------------
+
+
+class TestRadiusInvariants:
+    @given(connected_graphs(), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_radius_monotone_in_k(self, graph, k):
+        """Lemma 4(1): r_v(k) <= r_v(k+1)."""
+        v = next(iter(graph.vertices()))
+        assert vertex_radius(graph, v, k) <= vertex_radius(graph, v, k + 1)
+
+    @given(connected_graphs(), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_compact_neighborhood_contains_strict_ball(self, graph, k):
+        """W (the open ball at the radius) is inside every compact
+        k-neighborhood — the heart of Lemma 2."""
+        v = next(iter(graph.vertices()))
+        nbhd = compact_neighborhood(graph, v, k)
+        if math.isinf(nbhd.radius):
+            return
+        strict_ball = {
+            u
+            for u, d in bfs_distances(graph, v).items()
+            if d < nbhd.radius
+        }
+        assert strict_ball <= set(nbhd.vertices)
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_radius_at_least_1(self, graph):
+        v = next(iter(graph.vertices()))
+        assert vertex_radius(graph, v, 1) >= 1
+
+
+# -- matchings & covers -------------------------------------------------------
+
+
+class TestCoverInvariants:
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_maximal_matching_property(self, graph):
+        matching = maximal_matching(graph)
+        used = [v for e in matching for v in e]
+        assert len(used) == len(set(used))
+        assert matching_is_maximal(graph, matching)
+
+    @given(connected_graphs(), st.integers(0, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_packing_cover_valid(self, graph, r):
+        """Theorem 5 on arbitrary connected graphs."""
+        cover = ball_cover_packing(graph, r)
+        assert is_ball_cover(graph, cover, r)
+
+
+# -- grid combinatorics --------------------------------------------------------
+
+
+class TestGridFormulas:
+    @given(st.integers(1, 5), st.integers(0, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_volume_recurrence_consistency(self, d, r):
+        """k_d(r) = k_{d-1}(r) + 2 sum_{r'<r} k_{d-1}(r') (the paper's
+        recurrence) — cross-checked between dimensions."""
+        if d == 1:
+            assert grid_ball_volume_exact(1, r) == 2 * r + 1
+            return
+        expected = grid_ball_volume_exact(d - 1, r) + 2 * sum(
+            grid_ball_volume_exact(d - 1, rr) for rr in range(r)
+        )
+        assert grid_ball_volume_exact(d, r) == expected
+
+    @given(st.integers(1, 4), st.integers(1, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_radius_inverts_volume(self, d, k):
+        r = grid_radius_exact(d, k)
+        assert grid_ball_volume_exact(d, r) >= k + 1
+        assert r == 0 or grid_ball_volume_exact(d, r - 1) <= k
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_prime_is_prime(self, n):
+        p = smallest_prime_at_least(n)
+        assert p >= max(n, 2)
+        assert all(p % q for q in range(2, int(math.isqrt(p)) + 1))
+
+
+# -- engine ---------------------------------------------------------------------
+
+
+class TestEngineInvariants:
+    @given(
+        st.integers(2, 6),   # block size
+        st.integers(1, 3),   # blocks in memory
+        st.lists(st.integers(0, 29), min_size=1, max_size=60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_walk_never_exceeds_memory_and_faults_bounded(
+        self, B, blocks, waypoints
+    ):
+        """Any walk through a covering blocking is serviceable: reads
+        equal faults (laziness) and every fault is on a then-uncovered
+        vertex."""
+        from repro.graphs import path_graph, shortest_path
+
+        n = 30
+        graph = path_graph(n)
+        num_blocks = (n + B - 1) // B
+        blocking = ExplicitBlocking(
+            B,
+            {
+                i: set(range(i * B, min((i + 1) * B, n)))
+                for i in range(num_blocks)
+            },
+        )
+        # Build a legal walk through the waypoints.
+        walk = [waypoints[0]]
+        for target in waypoints[1:]:
+            seg = shortest_path(graph, walk[-1], target)
+            walk.extend(seg[1:])
+        trace = simulate_path(
+            graph, blocking, FirstBlockPolicy(), ModelParams(B, blocks * B), walk
+        )
+        assert trace.blocks_read == trace.faults
+        assert trace.faults <= len(walk)
+        assert sum(trace.fault_gaps) <= trace.steps
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=12, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_memory_occupancy_accounting(self, vertices):
+        """Loading and evicting arbitrary blocks keeps copy counts and
+        occupancy consistent."""
+        mem = WeakMemory(ModelParams(12, 48))
+        block = make_block("b", vertices, 12)
+        mem.load(block)
+        assert mem.occupancy == len(vertices)
+        assert all(mem.covers(v) for v in vertices)
+        mem.evict_block("b")
+        assert mem.occupancy == 0
+        assert not any(mem.covers(v) for v in vertices)
+
+
+# -- connectivity of generated graphs ------------------------------------------
+
+
+class TestGeneratorInvariants:
+    @given(st.integers(2, 40), st.integers(0, 9999))
+    @settings(max_examples=40, deadline=None)
+    def test_random_tree_connected(self, n, seed):
+        tree = random_tree(n, seed=seed)
+        assert tree.num_edges() == n - 1
+        assert is_connected(tree)
+
+
+class TestBlockingInvariants:
+    @given(
+        st.integers(2, 12),      # tile side
+        st.integers(1, 3),       # dimension
+        st.integers(0, 500),     # probe seed
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tessellation_blocking_partitions(self, side, dim, seed):
+        """Every coordinate lies in exactly one tile, the tile contains
+        it, and the tile respects capacity."""
+        import random as _random
+
+        from repro.analysis.tessellation import (
+            ShearedTessellation,
+            UniformTessellation,
+        )
+        from repro.blockings import TessellationBlocking
+
+        rng = _random.Random(seed)
+        coord = tuple(rng.randrange(-50, 50) for _ in range(dim))
+        for tess in (
+            UniformTessellation(dim, side),
+            ShearedTessellation(dim, side),
+        ):
+            blocking = TessellationBlocking(tess, side ** dim)
+            (bid,) = blocking.blocks_for(coord)
+            block = blocking.block(bid)
+            assert coord in block
+            assert len(block) == side ** dim
+
+    @given(st.integers(2, 10), st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_offset_blocking_coverage(self, b_root, seed):
+        """The s=2 offset blocking covers every coordinate twice and
+        both blocks contain it."""
+        import random as _random
+
+        from repro.blockings import offset_grid_blocking
+
+        B = b_root ** 2
+        blocking = offset_grid_blocking(2, B)
+        rng = _random.Random(seed)
+        coord = (rng.randrange(-40, 40), rng.randrange(-40, 40))
+        bids = blocking.blocks_for(coord)
+        assert len(bids) == 2
+        for bid in bids:
+            assert coord in blocking.block(bid)
+
+    @given(connected_graphs(max_n=16), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_lemma13_blocking_always_valid(self, graph, B):
+        """On any connected graph the Lemma 13 blocking validates and
+        its blocks are genuine compact neighborhoods."""
+        from repro.analysis import validate_against_graph
+        from repro.blockings import compact_neighborhood_blocking
+
+        if len(graph) <= B:
+            return  # whole graph fits one block; degenerate
+        blocking = compact_neighborhood_blocking(graph, B)
+        report = validate_against_graph(blocking, graph)
+        assert report.ok
+
+
+class TestWalkFaultBounds:
+    @given(
+        st.integers(2, 5),                      # b_root
+        st.lists(st.integers(0, 3), min_size=5, max_size=80),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_grid_walk_fault_rate_bounded(self, b_root, moves):
+        """On the s=2 offset grid blocking with the farthest-fault
+        policy and M = 2B, any walk faults at most once per 2 steps
+        after warm-up (the sqrt(B)/4 >= ... floor degrades to 2 only
+        when side = 2)."""
+        from repro import ModelParams, simulate_path
+        from repro.blockings import FarthestFaultPolicy, offset_grid_blocking
+        from repro.graphs import InfiniteGridGraph
+
+        B = b_root ** 2
+        if b_root < 4:
+            return  # side too small for a nontrivial floor
+        graph = InfiniteGridGraph(2)
+        deltas = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+        walk = [(0, 0)]
+        for m in moves:
+            dx, dy = deltas[m]
+            walk.append((walk[-1][0] + dx, walk[-1][1] + dy))
+        # Remove immediate backtracks that revisit the same vertex twice
+        # in a row? Not needed: backtracks are legal walk moves.
+        trace = simulate_path(
+            graph,
+            offset_grid_blocking(2, B),
+            FarthestFaultPolicy(graph),
+            ModelParams(B, 2 * B),
+            walk,
+        )
+        interior_gaps = trace.fault_gaps[1:]
+        assert all(g >= max(b_root // 4, 1) for g in interior_gaps)

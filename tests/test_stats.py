@@ -1,0 +1,74 @@
+"""SearchTrace statistics."""
+
+from repro import SearchTrace
+
+
+class TestSpeedup:
+    def test_basic_ratio(self):
+        trace = SearchTrace(steps=100, faults=10)
+        assert trace.speedup == 10.0
+
+    def test_no_faults_is_infinite(self):
+        assert SearchTrace(steps=5, faults=0).speedup == float("inf")
+
+    def test_steady_discounts_startup_fault(self):
+        trace = SearchTrace(steps=100, faults=11, fault_gaps=[0] + [10] * 10)
+        assert trace.speedup < 10.0
+        assert trace.steady_speedup == 10.0
+
+    def test_steady_keeps_real_first_fault(self):
+        # A fault after a nonzero gap is a real fault.
+        trace = SearchTrace(steps=100, faults=10, fault_gaps=[10] * 10)
+        assert trace.steady_speedup == trace.speedup
+
+    def test_steady_single_fault(self):
+        trace = SearchTrace(steps=100, faults=1, fault_gaps=[0])
+        assert trace.steady_speedup == 100.0
+
+
+class TestGaps:
+    def test_min_gap_ignores_startup(self):
+        trace = SearchTrace(steps=20, faults=3, fault_gaps=[0, 7, 9])
+        assert trace.min_gap == 7
+
+    def test_min_gap_single_gap(self):
+        trace = SearchTrace(steps=20, faults=1, fault_gaps=[3])
+        assert trace.min_gap == 3
+
+    def test_min_gap_no_faults_is_steps(self):
+        assert SearchTrace(steps=9).min_gap == 9
+
+    def test_mean_gap(self):
+        trace = SearchTrace(steps=20, faults=2, fault_gaps=[4, 8])
+        assert trace.mean_gap == 6.0
+
+    def test_mean_gap_empty(self):
+        assert SearchTrace().mean_gap == float("inf")
+
+
+class TestAccounting:
+    def test_distinct_blocks(self):
+        trace = SearchTrace(block_reads=["a", "b", "a"])
+        assert trace.distinct_blocks_read == 2
+
+    def test_summary_mentions_key_numbers(self):
+        trace = SearchTrace(steps=10, faults=2, fault_gaps=[0, 5], blocks_read=2)
+        text = trace.summary()
+        assert "steps=10" in text
+        assert "faults=2" in text
+
+    def test_summary_no_faults(self):
+        assert "sigma=inf" in SearchTrace(steps=3).summary()
+
+
+class TestGapHistogram:
+    def test_counts(self):
+        trace = SearchTrace(fault_gaps=[0, 5, 5, 3, 5])
+        assert trace.gap_histogram() == {0: 1, 3: 1, 5: 3}
+
+    def test_empty(self):
+        assert SearchTrace().gap_histogram() == {}
+
+    def test_sorted_keys(self):
+        trace = SearchTrace(fault_gaps=[9, 1, 4])
+        assert list(trace.gap_histogram()) == [1, 4, 9]

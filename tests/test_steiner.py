@@ -1,0 +1,82 @@
+"""Skeletal Steiner trees and the Lemma 12 numbering."""
+
+import pytest
+
+from repro import AnalysisError
+from repro.analysis import build_skeletal_steiner_tree
+from repro.graphs import GridGraph, cycle_graph, path_graph, torus_graph
+
+
+class TestSkeleton:
+    def test_tree_vertices_connected_in_graph(self):
+        g = torus_graph((6, 6))
+        sk = build_skeletal_steiner_tree(g, 2)
+        for parent, children in sk.tree.items():
+            for child in children:
+                assert child in g.neighbors(parent)
+
+    def test_centers_belong_to_tree(self):
+        g = GridGraph((8, 8))
+        sk = build_skeletal_steiner_tree(g, 2)
+        for c in sk.centers:
+            assert c in sk.tree
+
+    def test_circuit_traverses_tree(self):
+        g = cycle_graph(16)
+        sk = build_skeletal_steiner_tree(g, 2)
+        assert sk.circuit[0] == sk.root
+        assert sk.circuit[-1] == sk.root
+        assert set(sk.circuit) == sk.tree_vertices
+
+    def test_groups_cover_graph(self):
+        g = GridGraph((7, 7))
+        sk = build_skeletal_steiner_tree(g, 2)
+        assert set(sk.groups) == set(g.vertices())
+        assert set(sk.groups.values()) <= sk.tree_vertices
+
+    def test_numbering_is_a_permutation(self):
+        g = torus_graph((5, 5))
+        sk = build_skeletal_steiner_tree(g, 1)
+        assert sorted(sk.numbering.values()) == list(range(len(g)))
+        assert [sk.numbering[v] for v in sk.order] == list(range(len(g)))
+
+    def test_group_members_numbered_contiguously(self):
+        """The proof numbers each group as a batch when its parent is
+        first visited: members of one group occupy consecutive ranks."""
+        g = GridGraph((6, 6))
+        sk = build_skeletal_steiner_tree(g, 2)
+        by_group: dict = {}
+        for v, parent in sk.groups.items():
+            by_group.setdefault(parent, []).append(sk.numbering[v])
+        for ranks in by_group.values():
+            ranks.sort()
+            assert ranks == list(range(ranks[0], ranks[0] + len(ranks)))
+
+    def test_single_ball_covers_everything(self):
+        g = path_graph(5)
+        sk = build_skeletal_steiner_tree(g, 10)
+        assert len(sk.centers) == 1
+        assert len(sk.numbering) == 5
+
+    def test_every_vertex_near_tree(self):
+        """The packing is maximal, so every vertex is within 2r of the
+        skeletal tree (the claim inside Lemma 11)."""
+        from repro.graphs import bfs_distances
+
+        g = torus_graph((7, 7))
+        r = 2
+        sk = build_skeletal_steiner_tree(g, r)
+        # Multi-source BFS from tree vertices.
+        dist = {v: 0 for v in sk.tree_vertices}
+        frontier = list(sk.tree_vertices)
+        level = 0
+        while frontier:
+            level += 1
+            nxt = []
+            for u in frontier:
+                for v in g.neighbors(u):
+                    if v not in dist:
+                        dist[v] = level
+                        nxt.append(v)
+            frontier = nxt
+        assert max(dist.values()) <= 2 * r

@@ -1,0 +1,162 @@
+"""Integration: every Table 1 row reproduces at quick scale.
+
+These run the real experiment definitions with shortened traces; the
+benchmarks run them at full scale. A row "reproduces" when the measured
+sigma sits inside the paper's envelope (``result.holds``).
+"""
+
+import pytest
+
+from repro.experiments import (
+    ballcover_checks,
+    diagonal_row,
+    example1_checks,
+    example2_checks,
+    general_rows,
+    grid1d_row,
+    grid2d_rows,
+    gridd_reduced_rows,
+    gridd_rows,
+    isothetic_rows,
+    nonuniform_row,
+    pathological_rows,
+    redundancy_gap_rows,
+    tree_row,
+)
+
+QUICK = 2_000
+
+
+def assert_all_hold(results):
+    bad = [r.description for r in results if not r.holds]
+    assert not bad, f"bounds violated: {bad}"
+
+
+class TestTable1Rows:
+    def test_tree_row(self):
+        results = tree_row(num_steps=QUICK)
+        assert_all_hold(results)
+        # The naive s=1 baseline collapses to sigma ~ 2 under greedy.
+        naive = [r for r in results if r.params.get("s") == 1][0]
+        assert naive.sigma <= 3.0
+
+    def test_grid1d_row(self):
+        results = grid1d_row(num_steps=QUICK)
+        assert_all_hold(results)
+        s1 = [r for r in results if r.params["s"] == 1][0]
+        # 1-D is tight: measured sigma equals B up to the start-up fault.
+        assert s1.steady_sigma == pytest.approx(s1.upper_bound, rel=0.02)
+
+    def test_grid2d_rows(self):
+        assert_all_hold(grid2d_rows(num_steps=QUICK))
+
+    def test_gridd_rows(self):
+        assert_all_hold(gridd_rows(num_steps=QUICK))
+
+    def test_gridd_reduced_rows(self):
+        results = gridd_reduced_rows(num_steps=QUICK)
+        assert_all_hold(results)
+        for r in results:
+            # Reduced-blow-up constructions respect their blow-up bounds.
+            assert r.storage_blowup <= r.params["blowup_bound"] + 1e-9
+
+    def test_isothetic_rows(self):
+        assert_all_hold(isothetic_rows(num_steps=QUICK))
+
+    def test_redundancy_gap(self):
+        results = redundancy_gap_rows(num_steps=QUICK)
+        assert_all_hold(results)
+        s2 = [r for r in results if r.params["s"] == 2][0]
+        s1 = [r for r in results if r.params["s"] == 1][0]
+        # The headline: at d = 5 the s=2 blocking strictly beats
+        # anything the s=1 isothetic blocking can do.
+        assert s2.sigma > 2 * s1.sigma
+
+    def test_diagonal_row(self):
+        assert_all_hold(diagonal_row(num_steps=QUICK))
+
+    def test_general_rows(self):
+        assert_all_hold(general_rows(num_steps=QUICK))
+
+    def test_pathological_rows(self):
+        results = pathological_rows(num_steps=500)
+        assert_all_hold(results)
+
+    def test_nonuniform_row(self):
+        assert_all_hold(nonuniform_row(num_steps=QUICK))
+
+
+class TestClosedFormChecks:
+    def test_example1(self):
+        checks = example1_checks()
+        bad = [c.description for c in checks if not c.holds]
+        assert not bad, bad
+
+    def test_example2(self):
+        checks = example2_checks()
+        bad = [c.description for c in checks if not c.holds]
+        assert not bad, bad
+
+    def test_ballcover(self):
+        checks = ballcover_checks()
+        bad = [c.description for c in checks if not c.holds]
+        assert not bad, bad
+
+
+class TestStrongModel:
+    def test_upper_bounds_hold_in_strong_model_too(self):
+        """The paper's upper bounds are proved against the *strong*
+        memory model; the corridor adversary must stay under the cap
+        when the pager gets copy-granular eviction."""
+        from repro import ModelParams, PagingModel, simulate_adversary
+        from repro.adversaries import GridCorridorAdversary
+        from repro.analysis import theory
+        from repro.blockings import FarthestFaultPolicy, offset_grid_blocking
+        from repro.graphs import InfiniteGridGraph
+
+        B = 64
+        graph = InfiniteGridGraph(2)
+        trace = simulate_adversary(
+            graph,
+            offset_grid_blocking(2, B),
+            FarthestFaultPolicy(graph),
+            ModelParams(B, 2 * B, PagingModel.STRONG),
+            GridCorridorAdversary(2, B, 2 * B),
+            4_000,
+        )
+        assert trace.speedup <= theory.grid_upper(B, 2) + 1e-9
+
+    def test_tree_blocking_runs_strong(self):
+        from repro import CompleteTree, ModelParams, PagingModel, simulate_adversary
+        from repro.adversaries import RootLeafAdversary
+        from repro.blockings import MostInteriorPolicy, overlapped_tree_blocking
+
+        tree = CompleteTree(2, 60)
+        B = 255
+        trace = simulate_adversary(
+            tree,
+            overlapped_tree_blocking(tree, B),
+            MostInteriorPolicy(),
+            ModelParams(B, 2 * B, PagingModel.STRONG),
+            RootLeafAdversary(tree),
+            2_000,
+        )
+        assert trace.faults > 0
+        assert trace.speedup > 1.0
+
+
+class TestFiniteGrid1d:
+    def test_lemma19_row_holds(self):
+        from repro.experiments import grid1d_finite_row
+
+        (row,) = grid1d_finite_row(num_steps=3_000)
+        assert row.holds
+        assert row.sigma > row.params["B"]
+
+
+class TestGeometricRow:
+    def test_geometric_row_holds(self):
+        from repro.experiments import geometric_rows
+
+        rows = geometric_rows(num_steps=2_000)
+        assert all(r.holds for r in rows)

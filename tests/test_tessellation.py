@@ -1,0 +1,171 @@
+"""Tessellations and complex degrees (Lemmas 28-31, Definition 9)."""
+
+import itertools
+
+import pytest
+
+from repro import AnalysisError
+from repro.analysis import (
+    ShearedTessellation,
+    UniformTessellation,
+    complex_degree,
+    corner_cells_gray_order,
+    find_complex,
+    max_complex_degree,
+    sheared_side,
+)
+from repro.analysis.tessellation import shear_lcm
+
+
+class TestUniformTessellation:
+    def test_tile_of_origin_block(self):
+        t = UniformTessellation(2, 4)
+        assert t.tile_of((0, 0)) == (0, 0)
+        assert t.tile_of((3, 3)) == (0, 0)
+        assert t.tile_of((4, 0)) == (1, 0)
+        assert t.tile_of((-1, 0)) == (-1, 0)
+
+    def test_offset_shifts_tiles(self):
+        t = UniformTessellation(2, 4, offset=(2, 2))
+        assert t.tile_of((1, 1)) == (-1, -1)
+        assert t.tile_of((2, 2)) == (0, 0)
+
+    def test_origin_roundtrip(self):
+        t = UniformTessellation(3, 5, offset=(1, 2, 3))
+        for coord in [(0, 0, 0), (7, -3, 11), (-9, -9, -9)]:
+            tid = t.tile_of(coord)
+            origin = t.tile_origin(tid)
+            assert all(o <= c < o + 5 for c, o in zip(coord, origin))
+
+    def test_cells_partition(self):
+        t = UniformTessellation(2, 3)
+        cells = list(t.cells((0, 0)))
+        assert len(cells) == 9
+        assert all(t.tile_of(c) == (0, 0) for c in cells)
+
+    def test_tile_volume(self):
+        assert UniformTessellation(3, 4).tile_volume == 64
+
+    def test_boundary_distance(self):
+        t = UniformTessellation(2, 5)
+        assert t.boundary_distance((0, 0)) == 1   # at the corner
+        assert t.boundary_distance((2, 2)) == 3   # dead center
+
+    def test_offset_dimension_mismatch(self):
+        with pytest.raises(AnalysisError):
+            UniformTessellation(2, 4, offset=(1,))
+
+    def test_invalid_params(self):
+        with pytest.raises(AnalysisError):
+            UniformTessellation(0, 4)
+        with pytest.raises(AnalysisError):
+            UniformTessellation(2, 0)
+
+
+class TestShearedTessellation:
+    def test_1d_degenerates_to_uniform(self):
+        t = ShearedTessellation(1, 6)
+        u = UniformTessellation(1, 6)
+        for x in range(-12, 13):
+            assert t.tile_of((x,)) == u.tile_of((x,))
+
+    def test_2d_is_brick_pattern(self):
+        t = ShearedTessellation(2, 4)
+        # Layer 0 aligned at multiples of 4; layer 1 shifted by 2, so
+        # x = 2 is a tile boundary inside layer 1.
+        assert t.tile_of((0, 0)) == (0, 0)
+        assert t.tile_of((1, 4)) == (-1, 1)
+        assert t.tile_of((2, 4)) == (0, 1)
+
+    def test_origin_roundtrip(self):
+        t = ShearedTessellation(3, 6)
+        for coord in [(0, 0, 0), (5, -7, 13), (-2, 9, -11)]:
+            tid = t.tile_of(coord)
+            origin = t.tile_origin(tid)
+            assert all(o <= c < o + 6 for c, o in zip(coord, origin))
+            assert t.tile_of(origin) == tid
+
+    def test_cells_belong_to_tile(self):
+        t = ShearedTessellation(3, 6)
+        tid = t.tile_of((1, 2, 3))
+        for cell in t.cells(tid):
+            assert t.tile_of(cell) == tid
+
+
+class TestComplexDegrees:
+    def test_lemma30_uniform_has_2d_corners(self):
+        """Lemma 30: the uniform stacking has complexes of degree 2^d."""
+        for d in (1, 2, 3):
+            t = UniformTessellation(d, 4)
+            degree, _ = max_complex_degree(t, (-4,) * d, (5,) * d)
+            assert degree == 2 ** d
+
+    @pytest.mark.parametrize("d,side", [(2, 4), (2, 6), (3, 6)])
+    def test_lemma28_sheared_bounded_by_d_plus_1(self, d, side):
+        """Lemma 28: the sheared stacking never exceeds degree d+1."""
+        t = ShearedTessellation(d, side)
+        window = 2 * side + 1
+        degree, _ = max_complex_degree(t, (-window,) * d, (window,) * d)
+        assert degree == d + 1
+
+    def test_complex_degree_interior_is_1(self):
+        t = UniformTessellation(2, 5)
+        assert complex_degree(t, (2, 2)) == 1
+
+    def test_complex_degree_edge_is_2(self):
+        t = UniformTessellation(2, 5)
+        assert complex_degree(t, (5, 2)) == 2
+
+    def test_find_complex(self):
+        t = UniformTessellation(2, 4)
+        corner = find_complex(t, 4, (-8, -8), (9, 9))
+        assert corner is not None
+        assert complex_degree(t, corner) >= 4
+
+    def test_find_complex_none(self):
+        t = ShearedTessellation(2, 4)
+        assert find_complex(t, 4, (-8, -8), (9, 9)) is None
+
+    def test_corner_dimension_checked(self):
+        with pytest.raises(AnalysisError):
+            complex_degree(UniformTessellation(2, 4), (1, 2, 3))
+
+
+class TestGrayOrder:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_cyclic_unit_steps(self, d):
+        cells = corner_cells_gray_order((0,) * d)
+        assert len(cells) == 2 ** d
+        assert len(set(cells)) == 2 ** d
+        ring = cells + [cells[0]]
+        for a, b in zip(ring, ring[1:]):
+            assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    def test_cells_are_corner_incident(self):
+        corner = (3, -2)
+        for cell in corner_cells_gray_order(corner):
+            assert all(c - 1 <= x <= c for x, c in zip(cell, corner))
+
+    def test_visits_all_incident_tiles(self):
+        t = UniformTessellation(2, 4)
+        corner = (4, 4)
+        tiles = {t.tile_of(c) for c in corner_cells_gray_order(corner)}
+        assert len(tiles) == 4
+
+
+class TestShearedSide:
+    def test_exact_multiples(self):
+        assert sheared_side(64, 2) % shear_lcm(2) == 0
+        assert sheared_side(1000, 3) % shear_lcm(3) == 0
+
+    def test_never_exceeds_block(self):
+        for B in (8, 27, 100, 1000):
+            for d in (1, 2, 3):
+                assert sheared_side(B, d) ** d <= B
+
+    def test_1d_is_b(self):
+        assert sheared_side(17, 1) == 17
+
+    def test_fallback_when_lcm_too_big(self):
+        # d=4 needs lcm 30; B=81 gives side 3 < 30 — falls back.
+        assert sheared_side(81, 4) == 3

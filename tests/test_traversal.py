@@ -1,0 +1,157 @@
+"""Traversal algorithms: BFS, spanning trees, depth-first circuits."""
+
+import pytest
+
+from repro import GraphError
+from repro.graphs import (
+    GridGraph,
+    bfs_distances,
+    bfs_spanning_tree,
+    cycle_graph,
+    depth_first_circuit,
+    eccentricity,
+    is_connected,
+    nearest_matching,
+    path_graph,
+    shortest_path,
+    star_graph,
+)
+from repro.graphs.adjacency import AdjacencyGraph
+
+
+class TestBfsDistances:
+    def test_path_distances(self):
+        dist = bfs_distances(path_graph(6), 0)
+        assert dist == {i: i for i in range(6)}
+
+    def test_max_radius_cuts(self):
+        dist = bfs_distances(path_graph(10), 0, max_radius=3)
+        assert max(dist.values()) == 3
+        assert len(dist) == 4
+
+    def test_max_vertices_cuts(self):
+        dist = bfs_distances(path_graph(100), 0, max_vertices=5)
+        assert len(dist) >= 5
+        assert len(dist) <= 7  # may overshoot by one expansion
+
+    def test_insertion_order_is_distance_order(self):
+        dist = bfs_distances(GridGraph((5, 5)), (2, 2))
+        values = list(dist.values())
+        assert values == sorted(values)
+
+    def test_missing_source(self):
+        with pytest.raises(GraphError):
+            bfs_distances(path_graph(3), 99)
+
+
+class TestShortestPath:
+    def test_endpoints_included(self):
+        path = shortest_path(path_graph(6), 1, 4)
+        assert path == [1, 2, 3, 4]
+
+    def test_trivial(self):
+        assert shortest_path(path_graph(3), 2, 2) == [2]
+
+    def test_is_shortest_on_grid(self):
+        g = GridGraph((6, 6))
+        path = shortest_path(g, (0, 0), (3, 2))
+        assert len(path) - 1 == 5
+
+    def test_disconnected_raises(self):
+        g = AdjacencyGraph.from_edges([(0, 1)], vertices=[2])
+        with pytest.raises(GraphError):
+            shortest_path(g, 0, 2)
+
+    def test_missing_target(self):
+        with pytest.raises(GraphError):
+            shortest_path(path_graph(3), 0, 99)
+
+
+class TestNearestMatching:
+    def test_finds_nearest(self):
+        path = nearest_matching(path_graph(10), 3, lambda v: v >= 6)
+        assert path == [3, 4, 5, 6]
+
+    def test_source_matches(self):
+        assert nearest_matching(path_graph(5), 2, lambda v: v == 2) == [2]
+
+    def test_radius_cap(self):
+        assert nearest_matching(path_graph(10), 0, lambda v: v == 9, max_radius=3) is None
+
+    def test_no_match(self):
+        assert nearest_matching(path_graph(5), 0, lambda v: False) is None
+
+
+class TestSpanningTree:
+    def test_covers_component(self):
+        g = cycle_graph(8)
+        tree = bfs_spanning_tree(g, 0)
+        assert set(tree) == set(g.vertices())
+
+    def test_edge_count(self):
+        g = cycle_graph(8)
+        tree = bfs_spanning_tree(g, 0)
+        assert sum(len(ch) for ch in tree.values()) == len(g) - 1
+
+    def test_children_are_neighbors(self):
+        g = GridGraph((4, 4))
+        tree = bfs_spanning_tree(g, (0, 0))
+        for parent, children in tree.items():
+            for child in children:
+                assert child in g.neighbors(parent)
+
+    def test_missing_root(self):
+        with pytest.raises(GraphError):
+            bfs_spanning_tree(path_graph(3), 99)
+
+
+class TestDepthFirstCircuit:
+    def test_length_is_2n_minus_1(self):
+        g = GridGraph((4, 4))
+        tree = bfs_spanning_tree(g, (0, 0))
+        circuit = depth_first_circuit(tree, (0, 0))
+        assert len(circuit) == 2 * len(g) - 1
+
+    def test_starts_and_ends_at_root(self):
+        tree = bfs_spanning_tree(path_graph(5), 0)
+        circuit = depth_first_circuit(tree, 0)
+        assert circuit[0] == 0
+        assert circuit[-1] == 0
+
+    def test_every_edge_twice(self):
+        g = star_graph(4)
+        tree = bfs_spanning_tree(g, 0)
+        circuit = depth_first_circuit(tree, 0)
+        # Star from center: 0,1,0,2,0,3,0,4,0 — each edge twice.
+        edge_uses = {}
+        for a, b in zip(circuit, circuit[1:]):
+            key = frozenset((a, b))
+            edge_uses[key] = edge_uses.get(key, 0) + 1
+        assert all(count == 2 for count in edge_uses.values())
+
+    def test_consecutive_vertices_adjacent_in_graph(self):
+        g = GridGraph((3, 5))
+        tree = bfs_spanning_tree(g, (0, 0))
+        circuit = depth_first_circuit(tree, (0, 0))
+        for a, b in zip(circuit, circuit[1:]):
+            assert b in g.neighbors(a)
+
+    def test_single_vertex(self):
+        assert depth_first_circuit({0: []}, 0) == [0]
+
+    def test_missing_root(self):
+        with pytest.raises(GraphError):
+            depth_first_circuit({0: []}, 1)
+
+
+class TestMisc:
+    def test_is_connected(self):
+        assert is_connected(cycle_graph(5))
+        assert not is_connected(AdjacencyGraph.from_edges([(0, 1)], vertices=[2]))
+
+    def test_empty_graph_connected(self):
+        assert is_connected(AdjacencyGraph())
+
+    def test_eccentricity(self):
+        assert eccentricity(path_graph(7), 0) == 6
+        assert eccentricity(path_graph(7), 3) == 3

@@ -1,0 +1,123 @@
+"""CompleteTree: heap-index arithmetic and graph structure."""
+
+import pytest
+
+from repro import CompleteTree, GraphError
+from repro.graphs import bfs_distances, tree_size
+
+
+class TestTreeSize:
+    def test_binary(self):
+        assert tree_size(2, 0) == 1
+        assert tree_size(2, 3) == 15
+
+    def test_ternary(self):
+        assert tree_size(3, 2) == 13
+
+    def test_invalid_arity(self):
+        with pytest.raises(GraphError):
+            tree_size(1, 3)
+
+    def test_invalid_height(self):
+        with pytest.raises(GraphError):
+            tree_size(2, -1)
+
+
+class TestStructure:
+    def test_root_children(self, binary_tree4):
+        assert binary_tree4.children(0) == [1, 2]
+
+    def test_parent_inverse_of_children(self, ternary_tree3):
+        for v in ternary_tree3.vertices():
+            for c in ternary_tree3.children(v):
+                assert ternary_tree3.parent(c) == v
+
+    def test_root_has_no_parent(self, binary_tree4):
+        with pytest.raises(GraphError):
+            binary_tree4.parent(0)
+
+    def test_leaf_detection(self, binary_tree4):
+        # Height 4 binary tree: 31 vertices, leaves are 15..30.
+        assert not binary_tree4.is_leaf(14)
+        assert binary_tree4.is_leaf(15)
+        assert binary_tree4.is_leaf(30)
+
+    def test_leaves_iterator(self, binary_tree4):
+        leaves = list(binary_tree4.leaves())
+        assert len(leaves) == 16
+        assert all(binary_tree4.is_leaf(v) for v in leaves)
+
+    def test_depth(self, binary_tree4):
+        assert binary_tree4.depth(0) == 0
+        assert binary_tree4.depth(1) == 1
+        assert binary_tree4.depth(15) == 4
+
+    def test_ancestor_at_depth(self, binary_tree4):
+        leaf = 15
+        assert binary_tree4.ancestor_at_depth(leaf, 0) == 0
+        assert binary_tree4.ancestor_at_depth(leaf, 4) == leaf
+
+    def test_ancestor_below_vertex_rejected(self, binary_tree4):
+        with pytest.raises(GraphError):
+            binary_tree4.ancestor_at_depth(0, 3)
+
+    def test_path_to_root(self, binary_tree4):
+        path = binary_tree4.path_to_root(15)
+        assert path[0] == 15
+        assert path[-1] == 0
+        assert len(path) == 5
+
+    def test_height_zero_tree(self):
+        t = CompleteTree(2, 0)
+        assert len(t) == 1
+        assert t.is_leaf(0)
+        assert t.neighbors(0) == []
+        assert t.degree(0) == 0
+
+
+class TestDistance:
+    def test_distance_matches_bfs(self, ternary_tree3):
+        source = 5
+        bfs = bfs_distances(ternary_tree3, source)
+        for v in ternary_tree3.vertices():
+            assert ternary_tree3.distance(source, v) == bfs[v]
+
+    def test_distance_symmetric(self, binary_tree4):
+        assert binary_tree4.distance(3, 22) == binary_tree4.distance(22, 3)
+
+    def test_distance_self(self, binary_tree4):
+        assert binary_tree4.distance(7, 7) == 0
+
+
+class TestGraphInterface:
+    def test_degrees(self, binary_tree4):
+        assert binary_tree4.degree(0) == 2       # root
+        assert binary_tree4.degree(1) == 3       # internal
+        assert binary_tree4.degree(30) == 1      # leaf
+
+    def test_neighbors_of_internal(self, binary_tree4):
+        assert set(binary_tree4.neighbors(1)) == {0, 3, 4}
+
+    def test_vertex_count(self, ternary_tree3):
+        assert len(ternary_tree3) == 40
+        assert len(list(ternary_tree3.vertices())) == 40
+
+    def test_edge_count_is_n_minus_1(self, ternary_tree3):
+        assert ternary_tree3.num_edges() == len(ternary_tree3) - 1
+
+    def test_out_of_range_vertex(self, binary_tree4):
+        assert not binary_tree4.has_vertex(31)
+        assert not binary_tree4.has_vertex(-1)
+        assert not binary_tree4.has_vertex("x")
+        with pytest.raises(GraphError):
+            binary_tree4.neighbors(31)
+
+    def test_huge_tree_is_lazy(self):
+        # Height 200: ~2^201 vertices; only arithmetic, no storage.
+        # (len() would overflow ssize_t; .size is the big-int count.)
+        t = CompleteTree(2, 200)
+        assert t.size == 2 ** 201 - 1
+        deep = t.size - 1
+        assert t.is_leaf(deep)
+        assert t.depth(deep) == 200
+        assert t.degree(deep) == 1

@@ -1,0 +1,81 @@
+"""Blocking validators."""
+
+import itertools
+
+import pytest
+
+from repro import ExplicitBlocking
+from repro.analysis import validate_against_graph, validate_blocking
+from repro.blockings import (
+    lemma13_blocking,
+    offset_grid_blocking,
+    overlapped_tree_blocking,
+    sheared_grid_blocking,
+)
+from repro.graphs import CompleteTree, path_graph, torus_graph
+
+
+class TestValidateBlocking:
+    def test_valid_explicit(self):
+        blocking = ExplicitBlocking(3, {"a": {0, 1, 2}, "b": {3, 4}})
+        report = validate_blocking(blocking, range(5))
+        assert report.ok
+        assert report.vertices_checked == 5
+        assert report.min_copies == report.max_copies == 1
+
+    def test_detects_uncovered(self):
+        blocking = ExplicitBlocking(3, {"a": {0, 1, 2}})
+        report = validate_blocking(blocking, range(5))
+        assert not report.ok
+        assert set(report.uncovered) == {3, 4}
+        assert "INVALID" in report.summary()
+
+    def test_replication_counted(self):
+        blocking = ExplicitBlocking(3, {"a": {0, 1}, "b": {1, 2}})
+        report = validate_blocking(blocking, range(3))
+        assert report.max_copies == 2
+        assert report.min_copies == 1
+        assert report.mean_copies == pytest.approx(4 / 3)
+
+    def test_implicit_window(self):
+        blocking = offset_grid_blocking(2, 64)
+        window = itertools.product(range(-8, 8), range(-8, 8))
+        report = validate_blocking(blocking, window)
+        assert report.ok
+        assert report.min_copies == report.max_copies == 2
+
+    def test_sheared_window(self):
+        blocking = sheared_grid_blocking(2, 64)
+        window = itertools.product(range(-8, 8), range(-8, 8))
+        report = validate_blocking(blocking, window)
+        assert report.ok
+        assert report.max_copies == 1
+
+    def test_tree_blocking(self):
+        tree = CompleteTree(2, 8)
+        blocking = overlapped_tree_blocking(tree, 15)
+        report = validate_blocking(blocking, tree.vertices())
+        assert report.ok
+        assert report.min_copies == report.max_copies == 2
+
+    def test_empty_universe(self):
+        blocking = ExplicitBlocking(3, {"a": {0}})
+        report = validate_blocking(blocking, [])
+        assert report.ok
+        assert report.vertices_checked == 0
+
+
+class TestValidateAgainstGraph:
+    def test_lemma13_on_torus(self):
+        graph = torus_graph((8, 8))
+        blocking, _ = lemma13_blocking(graph, 13)
+        report = validate_against_graph(blocking, graph)
+        assert report.ok
+        assert report.mean_copies == pytest.approx(13.0)
+
+    def test_partial_cover_detected(self):
+        graph = path_graph(10)
+        blocking = ExplicitBlocking(4, {"a": {0, 1, 2, 3}})
+        report = validate_against_graph(blocking, graph)
+        assert not report.ok
+        assert len(report.uncovered) == 6

@@ -1,0 +1,148 @@
+"""Workload generators produce legal walks with the right coverage."""
+
+import pytest
+
+from repro import GraphError
+from repro.graphs import CompleteTree, GridGraph, torus_graph
+from repro.workloads import (
+    boustrophedon_scan,
+    chained_queries,
+    hilbert_scan,
+    is_legal_walk,
+    pingpong_walk,
+    tree_descents,
+)
+
+
+class TestBoustrophedon:
+    def test_visits_every_cell_once(self):
+        walk = boustrophedon_scan((5, 4))
+        assert len(walk) == 20
+        assert len(set(walk)) == 20
+
+    def test_legal(self):
+        grid = GridGraph((5, 4))
+        assert is_legal_walk(grid, boustrophedon_scan((5, 4)))
+
+    def test_single_row(self):
+        assert boustrophedon_scan((4, 1)) == [(0, 0), (1, 0), (2, 0), (3, 0)]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(GraphError):
+            boustrophedon_scan((3, 3, 3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            boustrophedon_scan((0, 4))
+
+
+class TestHilbert:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_visits_every_cell_once(self, order):
+        side = 1 << order
+        walk = hilbert_scan(order)
+        assert len(walk) == side * side
+        assert len(set(walk)) == side * side
+        assert all(0 <= x < side and 0 <= y < side for x, y in walk)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_legal(self, order):
+        grid = GridGraph((1 << order, 1 << order))
+        assert is_legal_walk(grid, hilbert_scan(order))
+
+    def test_rejects_order_zero(self):
+        with pytest.raises(GraphError):
+            hilbert_scan(0)
+
+    def test_locality_beats_snake(self):
+        """The point of the curve: average same-tile run length is
+        longer than the snake's for square tiles."""
+        from repro.analysis.tessellation import UniformTessellation
+
+        tess = UniformTessellation(2, 4)
+
+        def tile_changes(walk):
+            return sum(
+                1
+                for a, b in zip(walk, walk[1:])
+                if tess.tile_of(a) != tess.tile_of(b)
+            )
+
+        assert tile_changes(hilbert_scan(4)) < tile_changes(
+            boustrophedon_scan((16, 16))
+        )
+
+
+class TestChainedQueries:
+    def test_legal_and_deterministic(self):
+        graph = torus_graph((6, 6))
+        a = chained_queries(graph, 10, seed=3)
+        b = chained_queries(graph, 10, seed=3)
+        assert a == b
+        assert is_legal_walk(graph, a)
+
+    def test_start_respected(self):
+        graph = torus_graph((6, 6))
+        walk = chained_queries(graph, 2, seed=0, start=(3, 3))
+        assert walk[0] == (3, 3)
+
+    def test_zero_queries(self):
+        graph = torus_graph((6, 6))
+        assert len(chained_queries(graph, 0, seed=0)) == 1
+
+
+class TestPingPong:
+    def test_single_bounce_is_segment(self):
+        assert pingpong_walk([1, 2, 3], 1) == [1, 2, 3]
+
+    def test_two_bounces(self):
+        assert pingpong_walk([1, 2, 3], 2) == [1, 2, 3, 2, 1]
+
+    def test_length_grows_linearly(self):
+        walk = pingpong_walk(list(range(5)), 7)
+        assert len(walk) == 5 + 6 * 4
+
+    def test_legal_on_path(self):
+        from repro.graphs import path_graph
+
+        graph = path_graph(10)
+        assert is_legal_walk(graph, pingpong_walk([2, 3, 4, 5], 5))
+
+    def test_too_short_segment(self):
+        with pytest.raises(GraphError):
+            pingpong_walk([1], 2)
+
+
+class TestTreeDescents:
+    def test_legal(self):
+        tree = CompleteTree(2, 5)
+        walk = tree_descents(tree, 4, seed=9)
+        assert is_legal_walk(tree, walk)
+
+    def test_each_query_costs_2h_steps(self):
+        tree = CompleteTree(3, 4)
+        walk = tree_descents(tree, 5, seed=1)
+        assert len(walk) == 1 + 5 * 2 * tree.height
+
+    def test_starts_and_ends_at_root(self):
+        tree = CompleteTree(2, 4)
+        walk = tree_descents(tree, 3, seed=2)
+        assert walk[0] == tree.root
+        assert walk[-1] == tree.root
+
+
+class TestIsLegalWalk:
+    def test_detects_jump(self):
+        grid = GridGraph((4, 4))
+        assert not is_legal_walk(grid, [(0, 0), (2, 0)])
+
+    def test_detects_self_loop(self):
+        grid = GridGraph((4, 4))
+        assert not is_legal_walk(grid, [(0, 0), (0, 0)])
+
+    def test_detects_missing_vertex(self):
+        grid = GridGraph((4, 4))
+        assert not is_legal_walk(grid, [(0, 0), (0, -1)])
+
+    def test_empty_walk(self):
+        assert is_legal_walk(GridGraph((2, 2)), [])
