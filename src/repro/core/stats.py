@@ -28,8 +28,21 @@ class SearchTrace:
             The (possibly fault-free) tail of the walk is *not*
             included, so ``sum(fault_gaps) <= steps``.
         blocks_read: total block reads (equals ``faults`` for a lazy
-            pager whose policy services each fault with one read).
+            pager whose policy services each fault with one read on a
+            reliable disk).
         block_reads: the sequence of block ids read, in order.
+        retries: re-read attempts granted by the retry policy after
+            transient failures (0 on a reliable disk).
+        failed_reads: physical read attempts that failed (transient,
+            corrupt, or lost), retries included.
+        corrupt_reads: the subset of ``failed_reads`` whose failure was
+            checksum-detected corruption.
+        fallback_reads: faults serviced from an *alternate* block after
+            the chosen block proved unreadable — the storage blow-up
+            acting as redundancy.
+        io_time: modeled I/O time — every physical read attempt charged
+            at the configured read cost plus all backoff delays. Stays
+            0.0 when no reliability layer is configured.
     """
 
     steps: int = 0
@@ -37,6 +50,11 @@ class SearchTrace:
     fault_gaps: list[int] = field(default_factory=list)
     blocks_read: int = 0
     block_reads: list[BlockId] = field(default_factory=list)
+    retries: int = 0
+    failed_reads: int = 0
+    corrupt_reads: int = 0
+    fallback_reads: int = 0
+    io_time: float = 0.0
 
     @property
     def distinct_blocks_read(self) -> int:
@@ -99,11 +117,32 @@ class SearchTrace:
             histogram[gap] = histogram.get(gap, 0) + 1
         return dict(sorted(histogram.items()))
 
+    @property
+    def read_attempts(self) -> int:
+        """Total physical read attempts: successful loads plus failures."""
+        return self.blocks_read + self.failed_reads
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the run saw any disk trouble at all."""
+        return self.failed_reads > 0 or self.fallback_reads > 0
+
     def summary(self) -> str:
-        """One-line human-readable digest."""
+        """One-line human-readable digest.
+
+        Reliability counters are appended only when nonzero, so traces
+        from the default (reliable-disk) configuration print exactly as
+        they always have.
+        """
         sigma = "inf" if self.faults == 0 else f"{self.speedup:.3f}"
-        return (
+        text = (
             f"steps={self.steps} faults={self.faults} sigma={sigma} "
             f"min_gap={self.min_gap} reads={self.blocks_read} "
             f"distinct={self.distinct_blocks_read}"
         )
+        if self.degraded or self.retries:
+            text += (
+                f" failed_reads={self.failed_reads} retries={self.retries} "
+                f"fallbacks={self.fallback_reads} io_time={self.io_time:.1f}"
+            )
+        return text

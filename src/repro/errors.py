@@ -27,6 +27,55 @@ class PagingError(ReproError):
     """A paging policy failed to service a fault within the model rules."""
 
 
+class BlockReadError(PagingError):
+    """A block could not be read from the (simulated) disk.
+
+    Raised by the reliability layer when a read fails permanently — the
+    block is lost, or every retry the policy granted was consumed — and,
+    from the engine, only after replica fallback found no surviving
+    block covering the faulting vertex.
+
+    Attributes:
+        block_id: the block whose read failed (the last one tried).
+        vertex: the faulting vertex, when raised from the engine.
+        attempts: physical read attempts made on ``block_id``.
+        permanent: whether the failure is unrecoverable block loss (as
+            opposed to an exhausted retry budget).
+        trace: the partial :class:`~repro.core.stats.SearchTrace` up to
+            the failure, when raised from the engine; ``None`` from the
+            store layer.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        block_id=None,
+        vertex=None,
+        attempts: int = 0,
+        permanent: bool = False,
+        trace=None,
+    ) -> None:
+        super().__init__(message)
+        self.block_id = block_id
+        self.vertex = vertex
+        self.attempts = attempts
+        self.permanent = permanent
+        self.trace = trace
+
+
+class BudgetExceededError(ReproError):
+    """A run's step/IO budget was exhausted (the harness watchdog).
+
+    Carries the partial trace so aborted runs still report how far they
+    got before the watchdog fired.
+    """
+
+    def __init__(self, message: str, *, trace=None) -> None:
+        super().__init__(message)
+        self.trace = trace
+
+
 class AdversaryError(ReproError):
     """An adversary produced an illegal move (not an edge of the graph)."""
 

@@ -31,6 +31,7 @@ def _game_to_dict(result: ExperimentResult) -> dict:
         "upper_bound": result.upper_bound,
         "storage_blowup": result.storage_blowup,
         "holds": result.holds,
+        "error": result.error,
     }
 
 
@@ -93,6 +94,7 @@ def load_results(
             lower_bound=g["lower_bound"],
             upper_bound=g["upper_bound"],
             storage_blowup=g["storage_blowup"],
+            error=g.get("error"),
         )
         for g in payload["games"]
     ]

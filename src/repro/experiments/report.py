@@ -24,11 +24,14 @@ def format_games(results: Sequence[ExperimentResult]) -> str:
     )
     lines = [header, "-" * len(header)]
     for r in results:
-        ok = "yes" if r.holds else "NO"
+        ok = "ERR" if r.error is not None else ("yes" if r.holds else "NO")
+        description = r.description
+        if r.error is not None:
+            description += f"  [{r.error}]"
         lines.append(
             f"{r.experiment:<12} {_fmt(r.sigma)} {_fmt(r.min_gap)} "
             f"{_fmt(r.lower_bound)} {_fmt(r.upper_bound)} "
-            f"{_fmt(r.storage_blowup, 7)} {ok:>3}  {r.description}"
+            f"{_fmt(r.storage_blowup, 7)} {ok:>3}  {description}"
         )
     return "\n".join(lines)
 
@@ -52,7 +55,16 @@ def format_checks(results: Sequence[CheckResult]) -> str:
 def failures(
     games: Iterable[ExperimentResult], checks: Iterable[CheckResult]
 ) -> list[str]:
-    """Descriptions of every record whose bound did not hold."""
+    """Descriptions of every record whose bound did not hold.
+
+    Degraded cells (``error`` set) are not failures — their bounds are
+    unverifiable, and :func:`degraded` lists them separately.
+    """
     bad = [g.description for g in games if not g.holds]
     bad += [c.description for c in checks if not c.holds]
     return bad
+
+
+def degraded(games: Iterable[ExperimentResult]) -> list[str]:
+    """Descriptions of every game that errored (degraded cells)."""
+    return [f"{g.description}: {g.error}" for g in games if g.error is not None]

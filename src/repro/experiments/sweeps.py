@@ -117,6 +117,84 @@ def isothetic_gap_vs_dimension(
     return out
 
 
+def sigma_vs_failure_rate(
+    rates: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.2),
+    s_values: Sequence[int] = (1, 2, 4),
+    block_size: int = 64,
+    num_steps: int = 4_000,
+    seed: int = 17,
+    retry_attempts: int = 3,
+) -> dict[int, SweepSeries]:
+    """The reliability axis the paper never measured: blocking speed-up
+    under an unreliable disk, per storage blow-up.
+
+    For each ``s`` in ``s_values`` the 2-D grid blocking with ``s``
+    mutually offset tessellations plays a seeded random walk while
+    every block read fails transiently *or is permanently lost* at the
+    given rate (split 3:1 transient:loss). Lost blocks exercise replica
+    fallback: with ``s = 1`` a lost block on the walk kills the run (a
+    degraded cell, ``sigma = nan``), while ``s >= 2`` keeps searching
+    from the surviving copies — redundancy bought by the blow-up.
+
+    Returns one series per ``s``, indexed by failure rate.
+    """
+    from repro.adversaries import RandomWalkAdversary
+    from repro.blockings import (
+        FarthestFaultPolicy,
+        offset_grid_blocking,
+        uniform_grid_blocking,
+    )
+    from repro.core.model import ModelParams
+    from repro.core.policies import FirstBlockPolicy
+    from repro.experiments.harness import run_game
+    from repro.graphs import InfiniteGridGraph
+    from repro.reliability import (
+        ExponentialBackoff,
+        ProbabilisticFaults,
+        ReliabilityConfig,
+    )
+
+    graph = InfiniteGridGraph(2)
+    out: dict[int, SweepSeries] = {}
+    for s in s_values:
+        if s == 1:
+            blocking = uniform_grid_blocking(2, block_size)
+            policy = FirstBlockPolicy()
+        else:
+            blocking = offset_grid_blocking(2, block_size, copies=s)
+            policy = FarthestFaultPolicy(graph)
+        series = SweepSeries(
+            f"2-D grid s={s} blocking vs failure rate", "failure rate"
+        )
+        for rate in rates:
+            reliability = ReliabilityConfig(
+                injector=ProbabilisticFaults(
+                    transient_rate=0.75 * rate,
+                    loss_rate=0.25 * rate,
+                    seed=seed,
+                ),
+                retry=ExponentialBackoff(
+                    max_attempts=retry_attempts, jitter=0.5, seed=seed
+                ),
+                step_budget=20 * num_steps,
+            )
+            result = run_game(
+                "REL",
+                f"2-D grid s={s} blocking, failure rate {rate:.2f}",
+                graph,
+                blocking,
+                policy,
+                ModelParams(block_size, 4 * block_size),
+                RandomWalkAdversary(graph, (0, 0), seed=seed),
+                num_steps,
+                params={"B": block_size, "s": s, "failure_rate": rate},
+                reliability=reliability,
+            )
+            series.append(rate, result)
+        out[s] = series
+    return out
+
+
 def memory_tradeoff_sweep(
     ratios: Sequence[int] = (1, 2, 4, 8),
     block_size: int = 64,

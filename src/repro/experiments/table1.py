@@ -53,7 +53,9 @@ from repro.core.blocking import ExplicitBlocking
 from repro.core.engine import Searcher
 from repro.core.model import ModelParams
 from repro.core.policies import FirstBlockPolicy
+from repro.errors import ReproError
 from repro.experiments.harness import CheckResult, ExperimentResult, run_game
+from repro.reliability import ReliabilityConfig
 from repro.graphs import (
     CompleteTree,
     GridGraph,
@@ -79,6 +81,7 @@ def tree_row(
     arity: int = 2,
     height: int = 300,
     num_steps: int = 20_000,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """Row 1: trees. The Lemma 17 overlapped blocking (s=2) against the
     Theorem 7 root-leaf adversary must land between ``lg B/(2 lg d)``
@@ -100,6 +103,7 @@ def tree_row(
             model,
             RootLeafAdversary(tree),
             num_steps,
+            reliability=reliability,
             lower_bound=lower,
             upper_bound=upper,
             params={"B": block_size, "d": arity, "h": height, "s": 2},
@@ -113,6 +117,7 @@ def tree_row(
             model,
             GreedyUncoveredAdversary(tree, tree.root),
             min(num_steps, 4_000),
+            reliability=reliability,
             lower_bound=None,
             upper_bound=upper,
             params={"B": block_size, "d": arity, "h": height, "s": 1},
@@ -126,6 +131,7 @@ def tree_row(
             model,
             GreedyUncoveredAdversary(tree, tree.root),
             min(num_steps, 4_000),
+            reliability=reliability,
             lower_bound=lower,
             upper_bound=upper,
             params={"B": block_size, "d": arity, "h": height, "s": 2},
@@ -140,7 +146,8 @@ def tree_row(
 
 
 def grid1d_row(
-    block_size: int = 64, num_steps: int = 20_000
+    block_size: int = 64, num_steps: int = 20_000,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """Row 2: the 1-D grid. Contiguous s=1 blocking achieves exactly
     ``B`` (Lemmas 18/20); the offset s=2 blocking achieves ``B/2``
@@ -156,6 +163,7 @@ def grid1d_row(
             ModelParams(block_size, 2 * block_size),
             GridCorridorAdversary(1, block_size, 2 * block_size),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.grid1d_lower_s1(block_size),
             upper_bound=theory.grid_upper(block_size, 1),
             params={"B": block_size, "d": 1, "s": 1},
@@ -169,6 +177,7 @@ def grid1d_row(
             ModelParams(block_size, block_size),
             GridCorridorAdversary(1, block_size, block_size),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.grid1d_lower_s2(block_size),
             upper_bound=theory.grid_upper(block_size, 1),
             params={"B": block_size, "d": 1, "s": 2},
@@ -181,6 +190,7 @@ def grid1d_finite_row(
     block_size: int = 32,
     rho: int = 4,
     num_steps: int = 6_000,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """Lemma 19: on a *finite* path of n = rho*M vertices the cap
     tightens to ``rho/(rho-1) B - B/((rho-1)M)`` — boundary effects,
@@ -201,30 +211,37 @@ def grid1d_finite_row(
             for i in range(n // block_size)
         },
     )
+    description = f"finite 1-D path (n={n}): contiguous s=1 vs end-to-end sweeps"
+    result = ExperimentResult(
+        experiment="T1-R2-FIN",
+        description=description,
+        params={"B": block_size, "n": n, "rho": n / memory},
+        lower_bound=None,
+        upper_bound=theory.grid1d_upper_finite(block_size, memory, n),
+    )
     searcher = Searcher(
         graph,
         blocking,
         FirstBlockPolicy(),
         ModelParams(block_size, memory),
         validate_moves=False,
+        reliability=reliability,
     )
-    trace = searcher.run_path(path)
-    return [
-        ExperimentResult(
-            experiment="T1-R2-FIN",
-            description=f"finite 1-D path (n={n}): contiguous s=1 vs end-to-end sweeps",
-            params={"B": block_size, "n": n, "rho": n / memory},
-            sigma=trace.speedup,
-            steady_sigma=trace.steady_speedup,
-            min_gap=float(trace.min_gap),
-            faults=trace.faults,
-            steps=trace.steps,
-            lower_bound=None,
-            upper_bound=theory.grid1d_upper_finite(block_size, memory, n),
-            storage_blowup=blocking.storage_blowup(),
-            trace=trace,
-        )
-    ]
+    try:
+        trace = searcher.run_path(path)
+    except ReproError as exc:
+        result.error = f"{type(exc).__name__}: {exc}"
+        trace = getattr(exc, "trace", None)
+        if trace is None:
+            return [result]
+    result.sigma = trace.speedup
+    result.steady_sigma = trace.steady_speedup
+    result.min_gap = float(trace.min_gap)
+    result.faults = trace.faults
+    result.steps = trace.steps
+    result.storage_blowup = blocking.storage_blowup()
+    result.trace = trace
+    return [result]
 
 
 # ---------------------------------------------------------------------------
@@ -233,7 +250,8 @@ def grid1d_finite_row(
 
 
 def grid2d_rows(
-    block_size: int = 64, num_steps: int = 20_000
+    block_size: int = 64, num_steps: int = 20_000,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """Rows 3-4: the 2-D grid, s=1 brick (Lemma 23) and s=2 offset
     (Lemma 22) blockings against the Lemma 21 corridor adversary."""
@@ -249,6 +267,7 @@ def grid2d_rows(
             ModelParams(block_size, 3 * block_size),
             GridCorridorAdversary(2, block_size, 3 * block_size),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.grid2d_lower_s1(block_size),
             upper_bound=upper,
             params={"B": block_size, "d": 2, "s": 1},
@@ -262,6 +281,7 @@ def grid2d_rows(
             ModelParams(block_size, 2 * block_size),
             GridCorridorAdversary(2, block_size, 2 * block_size),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.grid2d_lower_s2(block_size),
             upper_bound=upper,
             params={"B": block_size, "d": 2, "s": 2},
@@ -275,7 +295,8 @@ def grid2d_rows(
 
 
 def gridd_rows(
-    dim: int = 3, block_size: int = 216, num_steps: int = 15_000
+    dim: int = 3, block_size: int = 216, num_steps: int = 15_000,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """Row 5: the s=B compact-neighborhood blocking (Lemma 27) on a
     d-dimensional grid against the Lemma 24 corridor adversary."""
@@ -291,6 +312,7 @@ def gridd_rows(
             ModelParams(block_size, block_size),
             GridCorridorAdversary(dim, block_size, block_size),
             num_steps,
+            reliability=reliability,
             # The construction guarantees exactly its ball radius; the
             # paper's asymptotic form of that radius is (1/2e) d B^(1/d).
             lower_bound=float(blocking.radius),
@@ -305,6 +327,7 @@ def gridd_reduced_rows(
     extent: int = 9,
     block_size: int = 63,
     num_steps: int = 8_000,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """Row 6: the reduced-blow-up blockings (Theorems 4 and 6) on a
     d-dimensional torus (finite, boundaryless, perfectly uniform),
@@ -342,6 +365,7 @@ def gridd_reduced_rows(
             ModelParams(block_size, block_size),
             GreedyUncoveredAdversary(graph, next(iter(graph.vertices()))),
             num_steps,
+            reliability=reliability,
             lower_bound=lower,
             upper_bound=upper,
             params={
@@ -362,7 +386,8 @@ def gridd_reduced_rows(
 
 
 def isothetic_rows(
-    dim: int = 2, block_size: int = 64, num_steps: int = 15_000
+    dim: int = 2, block_size: int = 64, num_steps: int = 15_000,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """Rows 7-8: isothetic hypercube blockings.
 
@@ -386,6 +411,7 @@ def isothetic_rows(
             ModelParams(block_size, 2 * block_size),
             GridCorridorAdversary(dim, block_size, 2 * block_size),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.isothetic_s2_lower(block_size, dim),
             upper_bound=theory.grid_upper(block_size, dim),
             params={"B": block_size, "d": dim, "s": 2},
@@ -399,6 +425,7 @@ def isothetic_rows(
             ModelParams(block_size, (dim + 1) * block_size),
             GridCorridorAdversary(dim, block_size, (dim + 1) * block_size),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.isothetic_s1_lower(block_size, dim),
             upper_bound=theory.grid_upper(block_size, dim),
             params={"B": block_size, "d": dim, "s": 1},
@@ -412,6 +439,7 @@ def isothetic_rows(
             ModelParams(block_size, (dim + 1) * block_size),
             UniformCornerAdversary(side=side, dim=dim),
             num_steps,
+            reliability=reliability,
             lower_bound=None,
             upper_bound=theory.isothetic_s1_upper(block_size, dim),
             params={"B": block_size, "d": dim, "s": 1},
@@ -420,7 +448,8 @@ def isothetic_rows(
 
 
 def redundancy_gap_rows(
-    dim: int = 5, block_size: int = 1024, num_steps: int = 6_000
+    dim: int = 5, block_size: int = 1024, num_steps: int = 6_000,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """The headline comparison: at ``d > 4`` the s=2 lower bound beats
     the s=1 isothetic upper bound, so the measured s=2 speed-up should
@@ -438,6 +467,7 @@ def redundancy_gap_rows(
             ModelParams(block_size, 2 * block_size),
             GridCorridorAdversary(dim, block_size, 2 * block_size),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.isothetic_s2_lower(block_size, dim),
             upper_bound=theory.grid_upper(block_size, dim),
             params={"B": block_size, "d": dim, "s": 2},
@@ -451,6 +481,7 @@ def redundancy_gap_rows(
             ModelParams(block_size, 3 * block_size),
             UniformCornerAdversary(side=side, dim=dim),
             num_steps,
+            reliability=reliability,
             lower_bound=None,
             upper_bound=theory.isothetic_s1_upper(block_size, dim),
             params={"B": block_size, "d": dim, "s": 1},
@@ -464,7 +495,8 @@ def redundancy_gap_rows(
 
 
 def diagonal_row(
-    dim: int = 2, block_size: int = 64, num_steps: int = 15_000
+    dim: int = 2, block_size: int = 64, num_steps: int = 15_000,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """Row 9: diagonal grids. The offset s=2 blocking against the
     Lemma 25 diagonal corridor adversary: sigma in
@@ -480,6 +512,7 @@ def diagonal_row(
             ModelParams(block_size, 2 * block_size),
             DiagonalCorridorAdversary(dim, block_size, 2 * block_size),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.diagonal_lower_s2(block_size, dim),
             upper_bound=theory.diagonal_upper(block_size, dim),
             params={"B": block_size, "d": dim, "s": 2},
@@ -496,6 +529,7 @@ def general_rows(
     block_size: int = 16,
     num_steps: int = 8_000,
     seed: int = 7,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """Row 10: general graphs — the Lemma 13 / Theorem 4 blockings on a
     uniform graph (random regular) against the greedy, Steiner-tour,
@@ -524,6 +558,7 @@ def general_rows(
             ModelParams(block_size, memory),
             GreedyUncoveredAdversary(graph, start),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.general_lower_sB(r_minus_B),
             upper_bound=upper,
             params={"B": block_size, "n": n, "r-": r_minus_B, "r+": r_plus_B},
@@ -541,6 +576,7 @@ def general_rows(
             ModelParams(block_size, memory),
             GreedyUncoveredAdversary(graph, start),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.general_lower_ballcover(r_minus_B),
             upper_bound=upper,
             params={
@@ -561,6 +597,7 @@ def general_rows(
             ModelParams(block_size, memory),
             SpanningTreeCircuitAdversary(graph),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.general_lower_sB(r_minus_B),
             upper_bound=theory.dfs_circuit_upper(block_size, memory, n),
             params={"B": block_size, "n": n},
@@ -577,6 +614,7 @@ def general_rows(
             ModelParams(block_size, memory),
             SteinerTourAdversary(graph, packing_radius=max(int(r_plus_B), 1)),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.general_lower_sB(r_minus_B),
             upper_bound=theory.steiner_upper(r_plus_B),
             params={"B": block_size, "n": n},
@@ -591,6 +629,7 @@ def geometric_rows(
     block_size: int = 12,
     num_steps: int = 6_000,
     seed: int = 31,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """Row 10 on the other natural uniform class: random geometric
     graphs (locally grid-like). Lemma 13's guarantee and the Theorem 2
@@ -615,6 +654,7 @@ def geometric_rows(
             ModelParams(block_size, memory),
             GreedyUncoveredAdversary(graph, 0),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.general_lower_sB(r_minus_B),
             upper_bound=upper,
             params={
@@ -628,7 +668,8 @@ def geometric_rows(
 
 
 def pathological_rows(
-    memory_size: int = 16, num_steps: int = 2_000
+    memory_size: int = 16, num_steps: int = 2_000,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """The Section 2 counterexamples: ``K_{M+1}`` pins sigma <= 1 and
     the (planar) M-star pins sigma <= 2, regardless of the blocking."""
@@ -647,6 +688,7 @@ def pathological_rows(
             ModelParams(block_size, memory_size),
             GreedyUncoveredAdversary(clique, 0),
             num_steps,
+            reliability=reliability,
             upper_bound=1.0,
             params={"M": memory_size, "n": memory_size + 1},
         ),
@@ -659,6 +701,7 @@ def pathological_rows(
             ModelParams(block_size, memory_size),
             GreedyUncoveredAdversary(star, 0),
             num_steps,
+            reliability=reliability,
             upper_bound=2.0,
             params={"M": memory_size, "n": 4 * memory_size + 1},
         ),
@@ -666,7 +709,8 @@ def pathological_rows(
 
 
 def nonuniform_row(
-    block_size: int = 16, num_steps: int = 4_000
+    block_size: int = 16, num_steps: int = 4_000,
+    reliability: ReliabilityConfig | None = None,
 ) -> list[ExperimentResult]:
     """A deliberately non-uniform graph (lollipop): the Lemma 13
     guarantee still holds at ``r^-(B)`` but the measured sigma on a
@@ -685,6 +729,7 @@ def nonuniform_row(
             model,
             GreedyUncoveredAdversary(graph, 0),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.general_lower_sB(r_minus),
             params={"B": block_size, "n": len(graph), "r-": r_minus},
         ),
@@ -697,6 +742,7 @@ def nonuniform_row(
             model,
             RandomWalkAdversary(graph, 0, seed=3),
             num_steps,
+            reliability=reliability,
             lower_bound=theory.general_lower_sB(r_minus),
             params={"B": block_size, "n": len(graph)},
         ),
@@ -858,24 +904,27 @@ def ballcover_checks(seed: int = 11) -> list[CheckResult]:
 
 def run_all(
     quick: bool = False,
+    reliability: ReliabilityConfig | None = None,
 ) -> tuple[list[ExperimentResult], list[CheckResult]]:
     """Run the whole Table 1 sweep. ``quick`` shrinks the traces for
-    smoke runs (used by tests)."""
+    smoke runs (used by tests). ``reliability`` runs every game against
+    the configured unreliable disk; per-run failures become degraded
+    cells (``ExperimentResult.error``) and the sweep still completes."""
     steps = 2_000 if quick else 15_000
     games: list[ExperimentResult] = []
-    games += tree_row(num_steps=steps)
-    games += grid1d_row(num_steps=steps)
-    games += grid1d_finite_row(num_steps=min(steps, 6_000))
-    games += grid2d_rows(num_steps=steps)
-    games += gridd_rows(num_steps=steps)
-    games += gridd_reduced_rows(num_steps=min(steps, 6_000))
-    games += isothetic_rows(num_steps=steps)
-    games += redundancy_gap_rows(num_steps=min(steps, 6_000))
-    games += diagonal_row(num_steps=steps)
-    games += general_rows(num_steps=min(steps, 8_000))
-    games += geometric_rows(num_steps=min(steps, 6_000))
-    games += pathological_rows(num_steps=min(steps, 2_000))
-    games += nonuniform_row(num_steps=min(steps, 4_000))
+    games += tree_row(num_steps=steps, reliability=reliability)
+    games += grid1d_row(num_steps=steps, reliability=reliability)
+    games += grid1d_finite_row(num_steps=min(steps, 6_000), reliability=reliability)
+    games += grid2d_rows(num_steps=steps, reliability=reliability)
+    games += gridd_rows(num_steps=steps, reliability=reliability)
+    games += gridd_reduced_rows(num_steps=min(steps, 6_000), reliability=reliability)
+    games += isothetic_rows(num_steps=steps, reliability=reliability)
+    games += redundancy_gap_rows(num_steps=min(steps, 6_000), reliability=reliability)
+    games += diagonal_row(num_steps=steps, reliability=reliability)
+    games += general_rows(num_steps=min(steps, 8_000), reliability=reliability)
+    games += geometric_rows(num_steps=min(steps, 6_000), reliability=reliability)
+    games += pathological_rows(num_steps=min(steps, 2_000), reliability=reliability)
+    games += nonuniform_row(num_steps=min(steps, 4_000), reliability=reliability)
     checks: list[CheckResult] = []
     checks += example1_checks()
     checks += example2_checks()

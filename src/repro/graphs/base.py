@@ -41,8 +41,17 @@ class Graph(abc.ABC):
         return sum(1 for _ in self.neighbors(vertex))
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
-        """Whether ``{u, v}`` is an edge."""
-        return self.has_vertex(u) and any(w == v for w in self.neighbors(u))
+        """Whether ``{u, v}`` is an edge.
+
+        The default delegates to a containment test on ``neighbors(u)``
+        — O(1) when the implementation returns a set (adjacency-set
+        graphs), linear otherwise. Implicit graphs override this with
+        pure coordinate arithmetic, so the engine's per-step move
+        validation never materializes a neighbor list.
+        """
+        if not self.has_vertex(u):
+            return False
+        return v in self.neighbors(u)
 
 
 class FiniteGraph(Graph):

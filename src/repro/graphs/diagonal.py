@@ -51,6 +51,14 @@ class InfiniteDiagonalGridGraph(Graph):
     def has_vertex(self, vertex: Vertex) -> bool:
         return _is_coord(vertex, self._dim)
 
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """O(d) arithmetic: adjacent iff Chebyshev distance is 1."""
+        return (
+            self.has_vertex(u)
+            and self.has_vertex(v)
+            and chebyshev_distance(u, v) == 1
+        )
+
     def degree(self, vertex: Vertex) -> int:
         self._check(vertex)
         return 3 ** self._dim - 1
@@ -93,6 +101,14 @@ class DiagonalGridGraph(FiniteGraph):
 
     def has_vertex(self, vertex: Vertex) -> bool:
         return _is_coord(vertex, self._dim) and self._inside(vertex)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """O(d) arithmetic: adjacent iff Chebyshev distance is 1."""
+        return (
+            self.has_vertex(u)
+            and self.has_vertex(v)
+            and chebyshev_distance(u, v) == 1
+        )
 
     def vertices(self) -> Iterator[Coord]:
         return itertools.product(*(range(extent) for extent in self._shape))

@@ -55,6 +55,12 @@ class InfiniteGridGraph(Graph):
     def has_vertex(self, vertex: Vertex) -> bool:
         return _is_coord(vertex, self._dim)
 
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """O(d) arithmetic — no neighbor list is materialized."""
+        return (
+            self.has_vertex(u) and self.has_vertex(v) and l1_distance(u, v) == 1
+        )
+
     def degree(self, vertex: Vertex) -> int:
         self._check(vertex)
         return 2 * self._dim
@@ -97,6 +103,12 @@ class GridGraph(FiniteGraph):
 
     def has_vertex(self, vertex: Vertex) -> bool:
         return _is_coord(vertex, self._dim) and self._inside(vertex)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """O(d) arithmetic — no neighbor list is materialized."""
+        return (
+            self.has_vertex(u) and self.has_vertex(v) and l1_distance(u, v) == 1
+        )
 
     def vertices(self) -> Iterator[Coord]:
         return itertools.product(*(range(extent) for extent in self._shape))

@@ -156,11 +156,13 @@ class CompleteTree(FiniteGraph):
     def has_vertex(self, vertex: Vertex) -> bool:
         return isinstance(vertex, int) and 0 <= vertex < self._size
 
-    def degree(self, vertex: Vertex) -> int:
-        self._check(vertex)
-        if vertex == 0:
-            return 0 if self._height == 0 else self._arity
-        return 1 if self.is_leaf(vertex) else self._arity + 1
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """O(1) arithmetic: adjacent iff one is the other's parent."""
+        if not (self.has_vertex(u) and self.has_vertex(v)):
+            return False
+        if u > v:
+            u, v = v, u
+        return v != 0 and (v - 1) // self._arity == u
 
     def vertices(self) -> Iterator[int]:
         return iter(range(self._size))

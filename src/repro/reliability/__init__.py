@@ -1,0 +1,44 @@
+"""Fault injection and resilient I/O for the paging engine.
+
+The paper buys blocking speed-up with storage blow-up ``s`` — vertices
+replicated across blocks. This package exercises that replication as
+*fault tolerance*: seeded, deterministic fault injectors model an
+unreliable disk (transient failures, checksum-detected corruption,
+permanent block loss), retry policies govern re-reads with backoff, and
+the engine's replica fallback recovers from lost blocks using the very
+alternate copies the blow-up paid for.
+
+Everything is opt-in: a :class:`Searcher` without a
+:class:`ReliabilityConfig` runs the seed's exact fast path.
+"""
+
+from repro.reliability.faults import (
+    FailOnNthRead,
+    FaultInjector,
+    FaultOutcome,
+    LostBlocks,
+    NeverFail,
+    ProbabilisticFaults,
+)
+from repro.reliability.retry import (
+    ExponentialBackoff,
+    FixedRetry,
+    NoRetry,
+    RetryPolicy,
+)
+from repro.reliability.store import ReliabilityConfig, ResilientBlockStore
+
+__all__ = [
+    "ExponentialBackoff",
+    "FailOnNthRead",
+    "FaultInjector",
+    "FaultOutcome",
+    "FixedRetry",
+    "LostBlocks",
+    "NeverFail",
+    "NoRetry",
+    "ProbabilisticFaults",
+    "ReliabilityConfig",
+    "ResilientBlockStore",
+    "RetryPolicy",
+]

@@ -1,0 +1,188 @@
+"""Fault injectors: deterministic models of an unreliable disk.
+
+The paper's model assumes every block read succeeds. Real external
+memory does not: reads fail transiently (bus hiccups, timeouts), blocks
+are lost outright (bad sectors), and data arrives corrupted (caught by
+a checksum). A :class:`FaultInjector` decides, per physical read
+attempt, which of those outcomes the simulated disk produces.
+
+All injectors are *seeded and deterministic*: the outcome sequence is a
+pure function of the constructor arguments, and :meth:`FaultInjector.reset`
+rewinds an injector to its initial state, so two runs with the same
+configuration produce bit-identical traces. That property is what makes
+fault-injected experiments reproducible rows instead of flaky ones.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import random
+
+from repro.errors import ReproError
+from repro.typing import BlockId
+
+
+class FaultOutcome(enum.Enum):
+    """What the simulated disk did with one physical read attempt."""
+
+    OK = "ok"
+    #: The read failed but the block is intact; a retry may succeed.
+    TRANSIENT = "transient"
+    #: The read returned data whose checksum did not verify; the stored
+    #: copy is intact, so a retry may succeed (a transport-level error).
+    CORRUPT = "corrupt"
+    #: The block is gone; no retry of this block can ever succeed.
+    LOST = "lost"
+
+    @property
+    def retryable(self) -> bool:
+        return self in (FaultOutcome.TRANSIENT, FaultOutcome.CORRUPT)
+
+
+class FaultInjector(abc.ABC):
+    """Decides the outcome of each physical block-read attempt."""
+
+    @abc.abstractmethod
+    def outcome(self, block_id: BlockId, attempt: int) -> FaultOutcome:
+        """The outcome of read ``attempt`` (1-based per fault service)
+        of ``block_id``. Called once per physical attempt, retries
+        included."""
+
+    def reset(self) -> None:
+        """Rewind to the initial state (reseed RNGs, clear loss sets) so
+        the next run replays the same fault sequence."""
+
+
+class NeverFail(FaultInjector):
+    """The perfectly reliable disk — the seed model, made explicit."""
+
+    def outcome(self, block_id: BlockId, attempt: int) -> FaultOutcome:
+        return FaultOutcome.OK
+
+
+class ProbabilisticFaults(FaultInjector):
+    """Seeded i.i.d. faults per read attempt.
+
+    Each attempt independently draws one of the failure modes:
+
+    * with probability ``transient_rate`` the read fails transiently;
+    * with probability ``corrupt_rate`` it returns corrupted data
+      (checksum-detected, retryable);
+    * with probability ``loss_rate`` the block is *permanently lost* —
+      it is remembered and every later read of it returns LOST.
+
+    The draws come from one ``random.Random(seed)`` stream consumed in
+    attempt order, so the fault pattern is a deterministic function of
+    the seed and the sequence of reads the engine performs.
+    """
+
+    def __init__(
+        self,
+        transient_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        for name, rate in (
+            ("transient_rate", transient_rate),
+            ("corrupt_rate", corrupt_rate),
+            ("loss_rate", loss_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ReproError(f"{name} must be in [0, 1], got {rate}")
+        if transient_rate + corrupt_rate + loss_rate > 1.0:
+            raise ReproError("fault rates must sum to at most 1")
+        self._transient = transient_rate
+        self._corrupt = corrupt_rate
+        self._loss = loss_rate
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._lost: set[BlockId] = set()
+
+    def outcome(self, block_id: BlockId, attempt: int) -> FaultOutcome:
+        if block_id in self._lost:
+            return FaultOutcome.LOST
+        draw = self._rng.random()
+        if draw < self._loss:
+            self._lost.add(block_id)
+            return FaultOutcome.LOST
+        draw -= self._loss
+        if draw < self._transient:
+            return FaultOutcome.TRANSIENT
+        draw -= self._transient
+        if draw < self._corrupt:
+            return FaultOutcome.CORRUPT
+        return FaultOutcome.OK
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._lost.clear()
+
+    @property
+    def lost_blocks(self) -> frozenset[BlockId]:
+        """Blocks that have drawn permanent loss so far this run."""
+        return frozenset(self._lost)
+
+
+class FailOnNthRead(FaultInjector):
+    """Fail exactly the ``n``-th physical read attempt (1-based).
+
+    The precision instrument for tests: the global attempt counter
+    includes retries, and the failure may be restricted to one block id.
+    A LOST outcome stays sticky for that block afterwards, like a real
+    dead sector.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        outcome: FaultOutcome = FaultOutcome.TRANSIENT,
+        block_id: BlockId | None = None,
+    ) -> None:
+        if n < 1:
+            raise ReproError(f"n must be >= 1, got {n}")
+        if outcome is FaultOutcome.OK:
+            raise ReproError("the injected outcome must be a failure")
+        self._n = n
+        self._outcome = outcome
+        self._only = block_id
+        self._count = 0
+        self._lost: set[BlockId] = set()
+
+    def outcome(self, block_id: BlockId, attempt: int) -> FaultOutcome:
+        if block_id in self._lost:
+            return FaultOutcome.LOST
+        if self._only is not None and block_id != self._only:
+            return FaultOutcome.OK
+        self._count += 1
+        if self._count == self._n:
+            if self._outcome is FaultOutcome.LOST:
+                self._lost.add(block_id)
+            return self._outcome
+        return FaultOutcome.OK
+
+    def reset(self) -> None:
+        self._count = 0
+        self._lost.clear()
+
+
+class LostBlocks(FaultInjector):
+    """A fixed set of permanently unreadable blocks.
+
+    The sharpest model of the paper's redundancy story: declare blocks
+    dead up front and watch whether the storage blow-up's extra copies
+    keep the search alive.
+    """
+
+    def __init__(self, block_ids) -> None:
+        self._lost = frozenset(block_ids)
+
+    def outcome(self, block_id: BlockId, attempt: int) -> FaultOutcome:
+        if block_id in self._lost:
+            return FaultOutcome.LOST
+        return FaultOutcome.OK
+
+    @property
+    def lost_blocks(self) -> frozenset[BlockId]:
+        return self._lost

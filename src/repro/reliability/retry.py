@@ -1,0 +1,141 @@
+"""Retry policies: how many re-reads a failed block gets, and how slow.
+
+A :class:`RetryPolicy` answers one question per failed attempt: *is a
+retry granted, and after how long a backoff?* Delays are modeled time
+(the same unit as the per-read cost in
+:class:`~repro.reliability.store.ResilientBlockStore`), accumulated
+into ``SearchTrace.io_time`` — the simulator never sleeps.
+
+Policies are seeded and deterministic like the fault injectors:
+exponential backoff draws its jitter from a ``random.Random(seed)``
+stream, and :meth:`RetryPolicy.reset` rewinds both the jitter stream
+and the run-wide retry budget.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from repro.errors import ReproError
+
+
+class RetryPolicy(abc.ABC):
+    """Grants (or refuses) retries for failed block reads.
+
+    Args:
+        max_attempts: total physical attempts allowed per read, the
+            first one included (``1`` means never retry).
+        budget: optional cap on *total retries across the whole run* —
+            the defense against retry storms on a badly degraded disk.
+    """
+
+    def __init__(self, max_attempts: int = 1, budget: int | None = None) -> None:
+        if max_attempts < 1:
+            raise ReproError(f"max_attempts must be >= 1, got {max_attempts}")
+        if budget is not None and budget < 0:
+            raise ReproError(f"retry budget must be >= 0, got {budget}")
+        self.max_attempts = max_attempts
+        self.budget = budget
+        self._spent = 0
+
+    def grant(self, attempt: int) -> float | None:
+        """Request a retry after ``attempt`` failed attempts (1-based).
+
+        Returns the backoff delay in modeled time units, or ``None``
+        when the policy refuses (per-read attempts or the run budget
+        exhausted).
+        """
+        if attempt >= self.max_attempts:
+            return None
+        if self.budget is not None and self._spent >= self.budget:
+            return None
+        self._spent += 1
+        return self._delay(attempt)
+
+    @property
+    def retries_spent(self) -> int:
+        """Retries granted so far this run."""
+        return self._spent
+
+    def reset(self) -> None:
+        """Restore the run budget (and any jitter stream)."""
+        self._spent = 0
+
+    @abc.abstractmethod
+    def _delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (>= 1)."""
+
+
+class NoRetry(RetryPolicy):
+    """Every failure is final — the degenerate policy."""
+
+    def __init__(self) -> None:
+        super().__init__(max_attempts=1)
+
+    def _delay(self, attempt: int) -> float:  # pragma: no cover - unreachable
+        return 0.0
+
+
+class FixedRetry(RetryPolicy):
+    """Up to ``max_attempts`` attempts with a constant backoff."""
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        delay: float = 0.0,
+        budget: int | None = None,
+    ) -> None:
+        super().__init__(max_attempts=max_attempts, budget=budget)
+        if delay < 0:
+            raise ReproError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+
+    def _delay(self, attempt: int) -> float:
+        return self.delay
+
+
+class ExponentialBackoff(RetryPolicy):
+    """Exponential backoff with deterministic, seeded jitter.
+
+    The ``k``-th retry (1-based) waits
+    ``min(max_delay, base_delay * factor**(k-1)) * (1 + jitter * u)``
+    where ``u`` is the next draw of a ``random.Random(seed)`` stream —
+    full determinism with the decorrelation benefits of jitter.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay: float = 1.0,
+        factor: float = 2.0,
+        max_delay: float = 64.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+        budget: int | None = None,
+    ) -> None:
+        super().__init__(max_attempts=max_attempts, budget=budget)
+        if base_delay < 0:
+            raise ReproError(f"base_delay must be >= 0, got {base_delay}")
+        if factor < 1.0:
+            raise ReproError(f"factor must be >= 1, got {factor}")
+        if max_delay < base_delay:
+            raise ReproError("max_delay must be >= base_delay")
+        if jitter < 0:
+            raise ReproError(f"jitter must be >= 0, got {jitter}")
+        self.base_delay = base_delay
+        self.factor = factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def _delay(self, attempt: int) -> float:
+        delay = min(self.max_delay, self.base_delay * self.factor ** (attempt - 1))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * self._rng.random()
+        return delay
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self._seed)

@@ -1,0 +1,112 @@
+"""The resilient block store: fetches blocks through the fault model.
+
+:class:`ResilientBlockStore` wraps a blocking's ``block()`` lookup with
+a :class:`~repro.reliability.faults.FaultInjector` and a
+:class:`~repro.reliability.retry.RetryPolicy`. Every physical attempt
+is charged to ``SearchTrace.io_time`` at ``read_cost`` modeled time
+units, backoff delays included, and every failure/retry is counted in
+the trace — so a fault-injected run reports not just sigma but what the
+disk put the pager through.
+
+:class:`ReliabilityConfig` is the bundle the engine and the experiment
+harness pass around: injector + retry policy + read-cost weight +
+the watchdog's step budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.block import Block
+from repro.core.blocking import Blocking
+from repro.core.stats import SearchTrace
+from repro.errors import BlockReadError, ReproError
+from repro.reliability.faults import FaultInjector, FaultOutcome, NeverFail
+from repro.reliability.retry import NoRetry, RetryPolicy
+from repro.typing import BlockId
+
+
+class ResilientBlockStore:
+    """Reads blocks from a simulated unreliable disk, with retries."""
+
+    def __init__(
+        self,
+        blocking: Blocking,
+        injector: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        read_cost: float = 1.0,
+    ) -> None:
+        if read_cost < 0:
+            raise ReproError(f"read_cost must be >= 0, got {read_cost}")
+        self.blocking = blocking
+        self.injector = injector if injector is not None else NeverFail()
+        self.retry = retry if retry is not None else NoRetry()
+        self.read_cost = read_cost
+
+    def reset(self) -> None:
+        """Rewind injector and retry state for a fresh run."""
+        self.injector.reset()
+        self.retry.reset()
+
+    def read(self, block_id: BlockId, trace: SearchTrace) -> Block:
+        """Fetch one block, retrying per policy; updates trace counters.
+
+        Raises:
+            BlockReadError: when the block is permanently lost or the
+                retry policy refused another attempt.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            trace.io_time += self.read_cost
+            outcome = self.injector.outcome(block_id, attempt)
+            if outcome is FaultOutcome.OK:
+                return self.blocking.block(block_id)
+            trace.failed_reads += 1
+            if outcome is FaultOutcome.CORRUPT:
+                trace.corrupt_reads += 1
+            if outcome is FaultOutcome.LOST:
+                raise BlockReadError(
+                    f"block {block_id!r} is permanently lost "
+                    f"(attempt {attempt})",
+                    block_id=block_id,
+                    attempts=attempt,
+                    permanent=True,
+                )
+            delay = self.retry.grant(attempt)
+            if delay is None:
+                raise BlockReadError(
+                    f"read of block {block_id!r} failed and the retry "
+                    f"policy refused another attempt (after {attempt})",
+                    block_id=block_id,
+                    attempts=attempt,
+                    permanent=False,
+                )
+            trace.retries += 1
+            trace.io_time += delay
+
+
+@dataclass
+class ReliabilityConfig:
+    """Everything the engine needs to simulate an unreliable disk.
+
+    Attributes:
+        injector: the fault model (``None`` means a perfect disk, but
+            retry/IO accounting still runs through the store).
+        retry: re-read policy for transient failures (default: none).
+        read_cost: modeled time charged per physical read attempt.
+        step_budget: watchdog cap on total work units per run
+            (path steps + physical read attempts); exceeded runs abort
+            with :class:`~repro.errors.BudgetExceededError` carrying
+            the partial trace.
+    """
+
+    injector: FaultInjector | None = None
+    retry: RetryPolicy | None = None
+    read_cost: float = 1.0
+    step_budget: int | None = None
+
+    def make_store(self, blocking: Blocking) -> ResilientBlockStore:
+        return ResilientBlockStore(
+            blocking, self.injector, self.retry, self.read_cost
+        )

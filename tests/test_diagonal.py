@@ -62,3 +62,18 @@ class TestFiniteDiagonal:
         g = DiagonalGridGraph((9, 9))
         ball = bfs_distances(g, (4, 4), max_radius=2)
         assert len(ball) == 25  # (2*2+1)^2
+
+
+class TestHasEdgeFastPath:
+    def test_matches_neighbor_sets(self):
+        from repro.graphs import DiagonalGridGraph, InfiniteDiagonalGridGraph
+
+        finite = DiagonalGridGraph((4, 4))
+        for u in finite.vertices():
+            for v in finite.vertices():
+                assert finite.has_edge(u, v) == (v in set(finite.neighbors(u)))
+
+        infinite = InfiniteDiagonalGridGraph(2)
+        assert infinite.has_edge((0, 0), (1, 1))  # the diagonal move
+        assert not infinite.has_edge((0, 0), (2, 1))
+        assert not infinite.has_edge((0, 0), (0, 0))

@@ -80,3 +80,28 @@ class TestFiniteGrid:
         g = GridGraph((3, 3, 3))
         assert len(g) == 27
         assert g.degree((1, 1, 1)) == 6
+
+
+class TestHasEdgeFastPath:
+    """has_edge is L1 arithmetic on grids — it must agree with the
+    neighbor sets the engine's move validation used to scan."""
+
+    def test_matches_neighbor_sets(self):
+        from repro.graphs import GridGraph, InfiniteGridGraph
+
+        finite = GridGraph((5, 5))
+        for u in finite.vertices():
+            for v in finite.vertices():
+                assert finite.has_edge(u, v) == (v in set(finite.neighbors(u)))
+
+        infinite = InfiniteGridGraph(2)
+        assert infinite.has_edge((3, 4), (3, 5))
+        assert not infinite.has_edge((3, 4), (4, 5))
+        assert not infinite.has_edge((3, 4), (3, 4))
+
+    def test_boundary_and_foreign_vertices(self):
+        from repro.graphs import GridGraph
+
+        g = GridGraph((3, 3))
+        assert not g.has_edge((2, 2), (3, 2))  # off the edge
+        assert not g.has_edge((9, 9), (9, 8))  # both outside

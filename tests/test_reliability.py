@@ -1,0 +1,449 @@
+"""The reliability layer: fault injection, retries, replica fallback.
+
+The invariants under test are the ones the experiment harness leans on:
+seeded injectors are deterministic and rewindable, the engine's default
+path is untouched (zero-overhead opt-in), a storage blow-up ``s > 1``
+survives lost blocks that kill ``s = 1``, and a sweep over a faulty
+disk completes with degraded cells instead of raising.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import FirstBlockPolicy, ModelParams, Searcher
+from repro.adversaries import RandomWalkAdversary
+from repro.blockings import contiguous_1d_blocking, offset_1d_blocking
+from repro.errors import (
+    AdversaryError,
+    BlockReadError,
+    BudgetExceededError,
+    PagingError,
+    ReproError,
+)
+from repro.graphs import InfiniteGridGraph
+from repro.reliability import (
+    ExponentialBackoff,
+    FailOnNthRead,
+    FaultOutcome,
+    FixedRetry,
+    LostBlocks,
+    NeverFail,
+    NoRetry,
+    ProbabilisticFaults,
+    ReliabilityConfig,
+    ResilientBlockStore,
+)
+from repro.core.stats import SearchTrace
+
+
+B = 8
+LINE = InfiniteGridGraph(1)
+PARAMS = ModelParams(B, 2 * B)
+
+
+def walk(n: int = 40) -> list[tuple[int]]:
+    return [(i,) for i in range(n)]
+
+
+# -- fault injectors ----------------------------------------------------
+
+
+class TestFaultOutcome:
+    def test_retryable(self):
+        assert FaultOutcome.TRANSIENT.retryable
+        assert FaultOutcome.CORRUPT.retryable
+        assert not FaultOutcome.OK.retryable
+        assert not FaultOutcome.LOST.retryable
+
+
+class TestProbabilisticFaults:
+    def test_deterministic_and_rewindable(self):
+        inj = ProbabilisticFaults(transient_rate=0.3, loss_rate=0.1, seed=5)
+        first = [inj.outcome(i % 4, 1) for i in range(50)]
+        inj.reset()
+        second = [inj.outcome(i % 4, 1) for i in range(50)]
+        assert first == second
+
+    def test_loss_is_sticky(self):
+        inj = ProbabilisticFaults(loss_rate=1.0, seed=0)
+        assert inj.outcome("b", 1) is FaultOutcome.LOST
+        assert "b" in inj.lost_blocks
+        # every later read of the block is LOST without consuming RNG
+        assert inj.outcome("b", 2) is FaultOutcome.LOST
+        inj.reset()
+        assert not inj.lost_blocks
+
+    def test_zero_rates_never_fail(self):
+        inj = ProbabilisticFaults(seed=1)
+        assert all(inj.outcome(0, 1) is FaultOutcome.OK for _ in range(100))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"transient_rate": -0.1},
+        {"corrupt_rate": 1.5},
+        {"transient_rate": 0.6, "loss_rate": 0.6},
+    ])
+    def test_rate_validation(self, kwargs):
+        with pytest.raises(ReproError):
+            ProbabilisticFaults(**kwargs)
+
+
+class TestFailOnNthRead:
+    def test_fails_exactly_nth(self):
+        inj = FailOnNthRead(3)
+        outcomes = [inj.outcome("b", 1) for _ in range(5)]
+        assert outcomes == [
+            FaultOutcome.OK,
+            FaultOutcome.OK,
+            FaultOutcome.TRANSIENT,
+            FaultOutcome.OK,
+            FaultOutcome.OK,
+        ]
+
+    def test_restricted_to_block(self):
+        inj = FailOnNthRead(1, block_id="target")
+        assert inj.outcome("other", 1) is FaultOutcome.OK
+        assert inj.outcome("target", 1) is FaultOutcome.TRANSIENT
+
+    def test_lost_is_sticky(self):
+        inj = FailOnNthRead(1, outcome=FaultOutcome.LOST)
+        assert inj.outcome("b", 1) is FaultOutcome.LOST
+        assert inj.outcome("b", 2) is FaultOutcome.LOST
+        inj.reset()
+        assert inj.outcome("b", 1) is FaultOutcome.LOST  # counter rewound
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            FailOnNthRead(0)
+        with pytest.raises(ReproError):
+            FailOnNthRead(1, outcome=FaultOutcome.OK)
+
+
+# -- retry policies -----------------------------------------------------
+
+
+class TestRetryPolicies:
+    def test_no_retry_refuses(self):
+        assert NoRetry().grant(1) is None
+
+    def test_fixed_retry_counts_attempts(self):
+        policy = FixedRetry(max_attempts=3, delay=2.0)
+        assert policy.grant(1) == 2.0
+        assert policy.grant(2) == 2.0
+        assert policy.grant(3) is None
+
+    def test_budget_caps_run_wide_retries(self):
+        policy = FixedRetry(max_attempts=10, budget=2)
+        assert policy.grant(1) is not None
+        assert policy.grant(1) is not None
+        assert policy.grant(1) is None
+        assert policy.retries_spent == 2
+        policy.reset()
+        assert policy.grant(1) is not None
+
+    def test_backoff_doubles_and_caps(self):
+        policy = ExponentialBackoff(
+            max_attempts=10, base_delay=1.0, factor=2.0, max_delay=4.0
+        )
+        assert [policy.grant(k) for k in range(1, 5)] == [1.0, 2.0, 4.0, 4.0]
+
+    def test_jitter_is_seeded(self):
+        a = ExponentialBackoff(max_attempts=5, jitter=0.5, seed=9)
+        b = ExponentialBackoff(max_attempts=5, jitter=0.5, seed=9)
+        delays = [a.grant(k) for k in range(1, 4)]
+        assert delays == [b.grant(k) for k in range(1, 4)]
+        a.reset()
+        assert delays == [a.grant(k) for k in range(1, 4)]
+        assert all(d is not None and d > 0 for d in delays)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"factor": 0.5},
+        {"max_delay": 0.1, "base_delay": 1.0},
+        {"jitter": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ReproError):
+            ExponentialBackoff(**kwargs)
+
+
+# -- the resilient store ------------------------------------------------
+
+
+class TestResilientBlockStore:
+    def make_store(self, injector=None, retry=None, **kwargs):
+        return ResilientBlockStore(
+            contiguous_1d_blocking(B), injector, retry, **kwargs
+        )
+
+    def test_clean_read_charges_io_time(self):
+        store, trace = self.make_store(), SearchTrace()
+        block = store.read((0,), trace)
+        assert (3,) in block
+        assert trace.io_time == 1.0
+        assert trace.failed_reads == 0
+
+    def test_transient_failure_retried(self):
+        store = self.make_store(FailOnNthRead(1), FixedRetry(max_attempts=2, delay=3.0))
+        trace = SearchTrace()
+        store.read((0,), trace)
+        assert trace.failed_reads == 1
+        assert trace.retries == 1
+        assert trace.io_time == 1.0 + 3.0 + 1.0  # attempt + backoff + attempt
+
+    def test_corrupt_counted_separately(self):
+        store = self.make_store(
+            FailOnNthRead(1, outcome=FaultOutcome.CORRUPT), FixedRetry()
+        )
+        trace = SearchTrace()
+        store.read((0,), trace)
+        assert trace.corrupt_reads == 1
+        assert trace.failed_reads == 1
+
+    def test_lost_block_is_permanent(self):
+        store = self.make_store(LostBlocks([(0,)]), FixedRetry(max_attempts=5))
+        with pytest.raises(BlockReadError) as exc_info:
+            store.read((0,), SearchTrace())
+        assert exc_info.value.permanent
+        assert exc_info.value.block_id == (0,)
+
+    def test_retry_refusal_is_not_permanent(self):
+        store = self.make_store(FailOnNthRead(1), NoRetry())
+        with pytest.raises(BlockReadError) as exc_info:
+            store.read((0,), SearchTrace())
+        assert not exc_info.value.permanent
+        assert exc_info.value.attempts == 1
+
+    def test_reset_rewinds_both(self):
+        injector = FailOnNthRead(1, outcome=FaultOutcome.LOST)
+        store = self.make_store(injector, FixedRetry(budget=1))
+        with pytest.raises(BlockReadError):
+            store.read((0,), SearchTrace())
+        store.reset()
+        trace = SearchTrace()
+        with pytest.raises(BlockReadError):  # same first-read failure again
+            store.read((0,), trace)
+
+    def test_read_cost_validation(self):
+        with pytest.raises(ReproError):
+            self.make_store(read_cost=-1.0)
+
+
+# -- engine integration -------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_default_path_untouched(self):
+        """``reliability=None`` keeps the seed semantics: no IO-time
+        accounting, no reliability counters, clean summary line."""
+        searcher = Searcher(LINE, contiguous_1d_blocking(B), FirstBlockPolicy(), PARAMS)
+        trace = searcher.run_path(walk())
+        assert trace.io_time == 0.0
+        assert trace.retries == trace.failed_reads == trace.fallback_reads == 0
+        assert not trace.degraded
+        assert "failed_reads" not in trace.summary()
+
+    def test_perfect_disk_matches_default(self):
+        """Routing reads through the store (NeverFail) changes only the
+        IO-time accounting, never the search itself."""
+        plain = Searcher(
+            LINE, contiguous_1d_blocking(B), FirstBlockPolicy(), PARAMS
+        ).run_path(walk())
+        stored = Searcher(
+            LINE, contiguous_1d_blocking(B), FirstBlockPolicy(), PARAMS,
+            reliability=ReliabilityConfig(injector=NeverFail()),
+        ).run_path(walk())
+        assert stored.faults == plain.faults
+        assert stored.block_reads == plain.block_reads
+        assert stored.io_time == plain.blocks_read  # one unit per read
+
+    def test_seeded_runs_are_identical(self):
+        def run():
+            searcher = Searcher(
+                LINE, offset_1d_blocking(B), FirstBlockPolicy(), PARAMS,
+                reliability=ReliabilityConfig(
+                    injector=ProbabilisticFaults(transient_rate=0.3, seed=11),
+                    retry=ExponentialBackoff(max_attempts=4, jitter=0.5, seed=11),
+                ),
+            )
+            return searcher.run_adversary(
+                RandomWalkAdversary(LINE, (0,), seed=2), num_steps=300
+            )
+
+        first, second = run(), run()
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+        assert first.retries > 0  # the scenario actually exercised retries
+
+    def test_rerun_resets_reliability_state(self):
+        """The same Searcher replays the same fault sequence per run."""
+        searcher = Searcher(
+            LINE, offset_1d_blocking(B), FirstBlockPolicy(), PARAMS,
+            reliability=ReliabilityConfig(
+                injector=ProbabilisticFaults(transient_rate=0.4, seed=3),
+                retry=FixedRetry(max_attempts=4),
+            ),
+        )
+        first = searcher.run_path(walk())
+        second = searcher.run_path(walk())
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+    def test_replica_fallback_survives_lost_block(self):
+        """s = 2: losing the chosen block falls back to the offset copy
+        — the storage blow-up exploited as redundancy."""
+        blocking = offset_1d_blocking(B)
+        chosen = FirstBlockPolicy().choose((20,), blocking, None)
+        searcher = Searcher(
+            LINE, blocking, FirstBlockPolicy(), PARAMS,
+            reliability=ReliabilityConfig(injector=LostBlocks([chosen])),
+        )
+        trace = searcher.run_path(walk())
+        assert trace.fallback_reads >= 1
+        assert trace.degraded
+        assert "fallbacks=" in trace.summary()
+
+    def test_s1_lost_block_kills_the_run(self):
+        """s = 1: there is no replica; the run dies with the partial
+        trace attached to the typed error."""
+        blocking = contiguous_1d_blocking(B)
+        (only,) = blocking.blocks_for((20,))
+        searcher = Searcher(
+            LINE, blocking, FirstBlockPolicy(), PARAMS,
+            reliability=ReliabilityConfig(injector=LostBlocks([only])),
+        )
+        with pytest.raises(BlockReadError) as exc_info:
+            searcher.run_path(walk())
+        err = exc_info.value
+        assert err.permanent
+        assert err.vertex == (16,)  # first vertex of the dead block
+        assert err.trace is not None
+        assert err.trace.faults >= 2  # blocks before the dead one loaded fine
+        assert isinstance(err, PagingError)
+
+    def test_all_replicas_lost(self):
+        blocking = offset_1d_blocking(B)
+        searcher = Searcher(
+            LINE, blocking, FirstBlockPolicy(), PARAMS,
+            reliability=ReliabilityConfig(
+                injector=LostBlocks(list(blocking.blocks_for((20,))))
+            ),
+        )
+        with pytest.raises(BlockReadError) as exc_info:
+            searcher.run_path(walk())
+        assert exc_info.value.permanent
+
+    def test_step_budget_watchdog(self):
+        searcher = Searcher(
+            LINE, contiguous_1d_blocking(B), FirstBlockPolicy(), PARAMS,
+            reliability=ReliabilityConfig(step_budget=10),
+        )
+        with pytest.raises(BudgetExceededError) as exc_info:
+            searcher.run_path(walk(100))
+        assert exc_info.value.trace is not None
+        assert isinstance(exc_info.value, ReproError)
+
+
+# -- harness hardening --------------------------------------------------
+
+
+class TestHarnessHardening:
+    def run_rel_game(self, reliability, **kwargs):
+        from repro.experiments import run_game
+
+        return run_game(
+            "REL",
+            "1-D walk on a faulty disk",
+            LINE,
+            contiguous_1d_blocking(B),
+            FirstBlockPolicy(),
+            PARAMS,
+            RandomWalkAdversary(LINE, (0,), seed=4),
+            300,
+            lower_bound=1.0,
+            reliability=reliability,
+            **kwargs,
+        )
+
+    def test_degraded_cell_records_error(self):
+        result = self.run_rel_game(
+            ReliabilityConfig(injector=ProbabilisticFaults(loss_rate=0.5, seed=0))
+        )
+        assert result.error is not None
+        assert "BlockReadError" in result.error
+        assert result.trace is not None  # partial trace recovered
+        assert result.lower_holds is None and result.holds  # not a bound failure
+
+    def test_catch_errors_off_raises(self):
+        with pytest.raises(BlockReadError):
+            self.run_rel_game(
+                ReliabilityConfig(
+                    injector=ProbabilisticFaults(loss_rate=0.5, seed=0)
+                ),
+                catch_errors=False,
+            )
+
+    def test_budget_becomes_degraded_cell(self):
+        result = self.run_rel_game(ReliabilityConfig(step_budget=10))
+        assert result.error is not None
+        assert "BudgetExceededError" in result.error
+
+    def test_worst_case_forwards_validate_moves(self):
+        """The satellite fix: run_worst_case must accept and forward
+        eviction/validate_moves instead of dropping them."""
+        from repro.experiments import run_worst_case
+        from repro.paging.eviction import default_eviction
+
+        class IllegalAdversary(RandomWalkAdversary):
+            def step(self, pathfront, view):
+                return (pathfront[0] + 5,)  # not an edge
+
+        result = run_worst_case(
+            "REL",
+            "illegal moves caught",
+            LINE,
+            contiguous_1d_blocking(B),
+            FirstBlockPolicy(),
+            PARAMS,
+            {"illegal": IllegalAdversary(LINE, (0,))},
+            50,
+            eviction=default_eviction(PARAMS),
+            validate_moves=True,
+        )
+        assert result.error is not None
+        assert "AdversaryError" in result.error
+
+    def test_error_cell_report_and_roundtrip(self, tmp_path):
+        from repro.experiments import (
+            degraded,
+            dump_results,
+            failures,
+            format_games,
+            load_results,
+        )
+
+        result = self.run_rel_game(
+            ReliabilityConfig(injector=ProbabilisticFaults(loss_rate=0.5, seed=0))
+        )
+        table = format_games([result])
+        assert "ERR" in table
+        assert degraded([result]) and not failures([result], [])
+
+        path = tmp_path / "results.json"
+        dump_results(path, [result], [])
+        (loaded,), _checks = load_results(path)
+        assert loaded.error == result.error
+
+    def test_fault_sweep_completes(self):
+        """A sweep over a lossy disk finishes every cell; s >= 2 keeps
+        more cells alive than s = 1 at the same rate."""
+        from repro.experiments import sigma_vs_failure_rate
+
+        series = sigma_vs_failure_rate(
+            rates=(0.0, 0.3), s_values=(1, 2), block_size=16, num_steps=300
+        )
+        assert set(series) == {1, 2}
+        for s, sweep in series.items():
+            assert sweep.values == [0.0, 0.3]
+            assert len(sweep.sigmas) == 2

@@ -121,3 +121,22 @@ class TestGraphInterface:
         assert t.is_leaf(deep)
         assert t.depth(deep) == 200
         assert t.degree(deep) == 1
+
+
+class TestHasEdgeFastPath:
+    def test_matches_neighbor_sets(self):
+        t = CompleteTree(3, 3)
+        vertices = list(t.vertices())
+        for u in vertices:
+            for v in vertices:
+                assert t.has_edge(u, v) == (v in set(t.neighbors(u)))
+
+    def test_arithmetic_parent_check_is_lazy(self):
+        # Height 200: neighbor sets are unbuildable; arithmetic is not.
+        t = CompleteTree(2, 200)
+        deep = t.size - 1
+        parent = (deep - 1) // 2
+        assert t.has_edge(deep, parent)
+        assert t.has_edge(parent, deep)
+        assert not t.has_edge(deep, deep - 1)
+        assert not t.has_edge(0, 0)
