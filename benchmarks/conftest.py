@@ -5,9 +5,37 @@ are long deterministic traces — timing variance across rounds is not
 the interesting output), asserts the paper's bounds hold, and attaches
 the measured sigma / envelope to ``benchmark.extra_info`` so the
 pytest-benchmark table doubles as the reproduction report.
+
+At session end every ``bench_<name>.py`` module that ran gets its
+timings and extra info rolled up (``repro.obs.bench_rollup``) into a
+machine-readable ``BENCH_<name>.json`` at the repository root, so CI
+and ad-hoc runs leave comparable artifacts without extra flags.
 """
 
 from __future__ import annotations
+
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<module>.json`` per benchmark module that ran."""
+    config = session.config
+    bench_session = getattr(config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    from repro.obs.profiling import bench_rollup, write_bench_json
+
+    by_module: dict[str, list] = {}
+    for meta in bench_session.benchmarks:
+        module = meta.fullname.split("::")[0]
+        stem = Path(module).stem
+        if stem.startswith("bench_"):
+            stem = stem[len("bench_"):]
+        by_module.setdefault(stem, []).append(meta)
+    for name, metas in sorted(by_module.items()):
+        write_bench_json(name, bench_rollup(name, metas), root=_REPO_ROOT)
 
 
 def run_rows(benchmark, func, **kwargs):

@@ -58,6 +58,14 @@ from repro.errors import (
     ReproError,
 )
 from repro.reliability import ReliabilityConfig
+from repro.obs import (
+    Instrumentation,
+    JsonlSink,
+    MetricsRegistry,
+    PhaseProfiler,
+    RingBufferSink,
+    use_instrumentation,
+)
 from repro.graphs import (
     AdjacencyGraph,
     CompleteTree,
@@ -93,15 +101,20 @@ __all__ = [
     "ImplicitBlocking",
     "InfiniteDiagonalGridGraph",
     "InfiniteGridGraph",
+    "Instrumentation",
+    "JsonlSink",
     "LargestBlockPolicy",
     "Memory",
     "MemoryView",
+    "MetricsRegistry",
     "ModelError",
     "ModelParams",
     "MostUncoveredPolicy",
     "PagingError",
     "PagingModel",
+    "PhaseProfiler",
     "ReliabilityConfig",
+    "RingBufferSink",
     "ReproError",
     "SearchTrace",
     "Searcher",
@@ -110,4 +123,5 @@ __all__ = [
     "make_memory",
     "simulate_adversary",
     "simulate_path",
+    "use_instrumentation",
 ]

@@ -30,10 +30,17 @@ from repro.core.policies import BlockChoicePolicy
 from repro.core.stats import SearchTrace
 from repro.errors import AdversaryError, BlockReadError, BudgetExceededError, PagingError
 from repro.graphs.base import Graph
-from repro.paging.eviction import EvictionPolicy, default_eviction
+from repro.obs.context import current_instrumentation
+from repro.obs.instrument import FaultCallback, LegacyOnFaultAdapter, compose
+from repro.paging.eviction import (
+    EvictionPolicy,
+    InstrumentedEviction,
+    default_eviction,
+)
 from repro.typing import Vertex
 
 if TYPE_CHECKING:  # avoid a runtime import cycle with repro.reliability
+    from repro.obs.instrument import InstrumentationHook
     from repro.reliability.store import ReliabilityConfig
 
 
@@ -65,8 +72,10 @@ class MemoryView:
 
     @property
     def covered_count(self) -> int:
-        """Number of distinct covered vertices."""
-        return len(self._memory.covered_vertices())
+        """Number of distinct covered vertices (O(1): the memory keeps
+        the count incrementally, so adversaries may poll it per move
+        without materializing the covered set)."""
+        return self._memory.covered_count
 
     @property
     def memory_capacity(self) -> int:
@@ -107,13 +116,17 @@ class Searcher:
         params: ModelParams,
         eviction: EvictionPolicy | None = None,
         validate_moves: bool = True,
-        on_fault=None,
+        on_fault: FaultCallback | None = None,
         reliability: "ReliabilityConfig | None" = None,
+        instrumentation: "InstrumentationHook | None" = None,
     ) -> None:
         """Args:
-        on_fault: optional callback ``(vertex, block_id, trace)`` fired
-            after each fault is serviced — an instrumentation hook for
-            debugging blockings and recording fault geometry.
+        on_fault: legacy callback ``(vertex, block_id, trace)`` fired
+            after each fault is serviced. Kept working, but it is now a
+            thin adapter over ``instrumentation`` (it rides the
+            ``block_read`` event); new code should pass an
+            :class:`~repro.obs.instrument.InstrumentationHook` instead,
+            which also sees steps, retries, fallbacks, and evictions.
         reliability: optional unreliable-disk model
             (:class:`~repro.reliability.store.ReliabilityConfig`).
             When given, block fetches go through a
@@ -124,6 +137,14 @@ class Searcher:
             ``step_budget`` watchdog aborts runaway runs. When ``None``
             (the default) the engine runs the original fast path —
             zero overhead, bit-identical traces.
+        instrumentation: optional
+            :class:`~repro.obs.instrument.InstrumentationHook`
+            receiving the run's typed event stream (run_start, step,
+            fault, block_read, retry, fallback, eviction, run_end).
+            Defaults to the ambient hook installed by
+            :func:`repro.obs.context.use_instrumentation`; when neither
+            is set the engine keeps its original uninstrumented hot
+            path — zero overhead, bit-identical traces.
         """
         if blocking.block_size > params.memory_size:
             raise PagingError(
@@ -138,8 +159,18 @@ class Searcher:
         self.validate_moves = validate_moves
         self.on_fault = on_fault
         self.reliability = reliability
+        if instrumentation is None:
+            instrumentation = current_instrumentation()
+        if on_fault is not None:
+            instrumentation = compose(
+                instrumentation, LegacyOnFaultAdapter(on_fault)
+            )
+        self._instr = instrumentation
+        if instrumentation is not None:
+            self.eviction = InstrumentedEviction(self.eviction, instrumentation)
         if reliability is not None:
             self._store = reliability.make_store(blocking)
+            self._store.instrumentation = instrumentation
             self._step_budget = reliability.step_budget
         else:
             self._store = None
@@ -155,18 +186,18 @@ class Searcher:
             self._store.reset()
         memory = make_memory(self.params)
         trace = SearchTrace()
-        steps_since_fault = 0
-        previous: Vertex | None = None
-        for vertex in path:
-            if previous is not None:
-                self._check_move(previous, vertex)
-                trace.steps += 1
-                steps_since_fault += 1
-            steps_since_fault = self._visit(
-                vertex, memory, trace, steps_since_fault
-            )
-            previous = vertex
-        return trace
+        instr = self._instr
+        if instr is None:
+            return self._drive_path(path, memory, trace)
+        instr.run_start("path", self.params, self._read_cost())
+        error: str | None = None
+        try:
+            return self._drive_path(path, memory, trace, instr)
+        except BaseException as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            instr.run_end(trace, error)
 
     def run_adversary(self, adversary: Adversary, num_steps: int) -> SearchTrace:
         """Play ``num_steps`` moves of the adversary game."""
@@ -178,6 +209,58 @@ class Searcher:
         memory = make_memory(self.params)
         trace = SearchTrace()
         view = MemoryView(memory, trace)
+        instr = self._instr
+        if instr is None:
+            return self._drive_adversary(adversary, num_steps, memory, trace, view)
+        instr.run_start("adversary", self.params, self._read_cost())
+        error: str | None = None
+        try:
+            return self._drive_adversary(
+                adversary, num_steps, memory, trace, view, instr
+            )
+        except BaseException as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            instr.run_end(trace, error)
+
+    # -- drive loops -------------------------------------------------------
+    #
+    # Each driver has one loop; the uninstrumented call (instr=None) runs
+    # it with the emission branches compiled to two dead None-checks per
+    # step — the seed's exact trace mutations, bit-identical results.
+
+    def _drive_path(
+        self,
+        path: Iterable[Vertex],
+        memory: Memory,
+        trace: SearchTrace,
+        instr: "InstrumentationHook | None" = None,
+    ) -> SearchTrace:
+        steps_since_fault = 0
+        previous: Vertex | None = None
+        for vertex in path:
+            if previous is not None:
+                self._check_move(previous, vertex)
+                trace.steps += 1
+                steps_since_fault += 1
+                if instr is not None:
+                    instr.step(vertex)
+            steps_since_fault = self._visit(
+                vertex, memory, trace, steps_since_fault
+            )
+            previous = vertex
+        return trace
+
+    def _drive_adversary(
+        self,
+        adversary: Adversary,
+        num_steps: int,
+        memory: Memory,
+        trace: SearchTrace,
+        view: MemoryView,
+        instr: "InstrumentationHook | None" = None,
+    ) -> SearchTrace:
         pathfront = adversary.start(view)
         if not self.graph.has_vertex(pathfront):
             raise AdversaryError(f"start vertex {pathfront!r} is not in the graph")
@@ -187,9 +270,15 @@ class Searcher:
             self._check_move(pathfront, nxt)
             trace.steps += 1
             steps_since_fault += 1
+            if instr is not None:
+                instr.step(nxt)
             steps_since_fault = self._visit(nxt, memory, trace, steps_since_fault)
             pathfront = nxt
         return trace
+
+    def _read_cost(self) -> float | None:
+        """Per-attempt modeled read cost, None on a reliable disk."""
+        return self._store.read_cost if self._store is not None else None
 
     # -- internals --------------------------------------------------------
 
@@ -209,6 +298,9 @@ class Searcher:
             return steps_since_fault
         trace.faults += 1
         trace.fault_gaps.append(steps_since_fault)
+        instr = self._instr
+        if instr is not None:
+            instr.fault(vertex, steps_since_fault, trace.faults)
         block_id = self.policy.choose(vertex, self.blocking, memory)
         if self._store is None:
             block = self.blocking.block(block_id)
@@ -225,8 +317,8 @@ class Searcher:
         trace.blocks_read += 1
         trace.block_reads.append(block_id)
         memory.touch(vertex)
-        if self.on_fault is not None:
-            self.on_fault(vertex, block_id, trace)
+        if instr is not None:
+            instr.block_read(block, vertex, memory, trace)
         return 0
 
     def _fetch_resilient(
@@ -251,6 +343,8 @@ class Searcher:
                     last_error = exc
                     continue
                 trace.fallback_reads += 1
+                if self._instr is not None:
+                    self._instr.fallback(vertex, block_id, block.block_id)
                 return block
             raise BlockReadError(
                 f"no readable block covers vertex {vertex!r}: chosen block "
@@ -290,11 +384,12 @@ def simulate_path(
     eviction: EvictionPolicy | None = None,
     validate_moves: bool = True,
     reliability: "ReliabilityConfig | None" = None,
+    instrumentation: "InstrumentationHook | None" = None,
 ) -> SearchTrace:
     """One-shot helper around :meth:`Searcher.run_path`."""
     searcher = Searcher(
         graph, blocking, policy, params, eviction, validate_moves,
-        reliability=reliability,
+        reliability=reliability, instrumentation=instrumentation,
     )
     return searcher.run_path(path)
 
@@ -309,10 +404,11 @@ def simulate_adversary(
     eviction: EvictionPolicy | None = None,
     validate_moves: bool = True,
     reliability: "ReliabilityConfig | None" = None,
+    instrumentation: "InstrumentationHook | None" = None,
 ) -> SearchTrace:
     """One-shot helper around :meth:`Searcher.run_adversary`."""
     searcher = Searcher(
         graph, blocking, policy, params, eviction, validate_moves,
-        reliability=reliability,
+        reliability=reliability, instrumentation=instrumentation,
     )
     return searcher.run_adversary(adversary, num_steps)

@@ -35,6 +35,7 @@ class Memory(abc.ABC):
         self._params = params
         self._counts: Counter[Vertex] = Counter()
         self._occupancy = 0
+        self._covered = 0
 
     @property
     def params(self) -> ModelParams:
@@ -60,6 +61,14 @@ class Memory(abc.ABC):
         """The set of distinct vertices currently covered."""
         return {v for v, c in self._counts.items() if c > 0}
 
+    @property
+    def covered_count(self) -> int:
+        """Number of distinct covered vertices, maintained
+        incrementally — O(1), unlike materializing
+        :meth:`covered_vertices` (which adversaries query every
+        move)."""
+        return self._covered
+
     def room_for(self, size: int) -> bool:
         return self._occupancy + size <= self.capacity
 
@@ -73,6 +82,8 @@ class Memory(abc.ABC):
 
     def _add_copies(self, vertices) -> None:
         for v in vertices:
+            if self._counts[v] == 0:
+                self._covered += 1
             self._counts[v] += 1
         self._occupancy += len(vertices)
 
@@ -80,6 +91,7 @@ class Memory(abc.ABC):
         for v in vertices:
             if self._counts[v] == 1:
                 del self._counts[v]
+                self._covered -= 1
             else:
                 self._counts[v] -= 1
         self._occupancy -= len(vertices)

@@ -127,6 +127,39 @@ class SearchTrace:
         """Whether the run saw any disk trouble at all."""
         return self.failed_reads > 0 or self.fallback_reads > 0
 
+    def snapshot(self) -> dict:
+        """Every counter as a plain dict (lists copied) — the ground
+        truth a ``run_end`` trace event carries, and what
+        ``repro.obs.replay`` reconstructs and verifies against."""
+        return {
+            "steps": self.steps,
+            "faults": self.faults,
+            "fault_gaps": list(self.fault_gaps),
+            "blocks_read": self.blocks_read,
+            "block_reads": list(self.block_reads),
+            "retries": self.retries,
+            "failed_reads": self.failed_reads,
+            "corrupt_reads": self.corrupt_reads,
+            "fallback_reads": self.fallback_reads,
+            "io_time": self.io_time,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "SearchTrace":
+        """Rebuild a trace from :meth:`snapshot` output."""
+        return cls(
+            steps=data["steps"],
+            faults=data["faults"],
+            fault_gaps=list(data["fault_gaps"]),
+            blocks_read=data["blocks_read"],
+            block_reads=list(data["block_reads"]),
+            retries=data["retries"],
+            failed_reads=data["failed_reads"],
+            corrupt_reads=data["corrupt_reads"],
+            fallback_reads=data["fallback_reads"],
+            io_time=data["io_time"],
+        )
+
     def summary(self) -> str:
         """One-line human-readable digest.
 

@@ -6,6 +6,9 @@ Usage::
     python -m repro.experiments --quick    # shortened traces (~1 minute)
     python -m repro.experiments --quick --fault-rate 0.05
                                            # same sweep on an unreliable disk
+    python -m repro.experiments --quick --trace-out trace.jsonl --metrics
+                                           # record a structured event trace
+                                           # and print aggregate metrics
 
 Prints the measured table (sigma per row with the paper's envelope),
 the closed-form checks, and a verdict line; exits nonzero if any bound
@@ -13,6 +16,15 @@ failed. With ``--fault-rate`` every block read runs through the
 reliability layer (seeded fault injection, exponential-backoff retries,
 replica fallback); runs that die anyway are reported as degraded cells
 and do not abort the sweep or fail the verdict.
+
+Observability flags (see ``repro.obs``):
+
+* ``--trace-out PATH`` streams every engine event (faults, block
+  reads, retries, fallbacks, evictions) to a JSONL file that
+  ``python -m repro.obs.replay`` can reconstruct and verify.
+* ``--metrics`` prints the aggregated metrics registry as JSON.
+* ``--progress`` prints one line per sweep cell with elapsed time/ETA.
+* ``--profile`` prints per-cell wall-clock timings as JSON.
 """
 
 from __future__ import annotations
@@ -59,6 +71,27 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="seed for the fault injector and retry jitter",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="stream structured engine events (JSONL) to this file; "
+        "replay with: python -m repro.obs.replay PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="aggregate engine metrics across the sweep and print them as JSON",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one progress line per sweep cell (elapsed/ETA)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-cell wall-clock timings as JSON",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.fault_rate <= 1.0:
         parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
@@ -89,7 +122,52 @@ def main(argv: list[str] | None = None) -> int:
             step_budget=1_000_000,
         )
 
-    games, checks = run_all(quick=args.quick, reliability=reliability)
+    import contextlib
+
+    instr = None
+    profiler = None
+    progress = None
+    ambient = contextlib.nullcontext()
+    if args.trace_out or args.metrics:
+        from repro.obs import (
+            Instrumentation,
+            JsonlSink,
+            MetricsRegistry,
+            use_instrumentation,
+        )
+
+        sink = JsonlSink(args.trace_out) if args.trace_out else None
+        metrics = MetricsRegistry() if args.metrics else None
+        instr = Instrumentation(sink=sink, metrics=metrics)
+        ambient = use_instrumentation(instr)
+    if args.profile:
+        from repro.obs import PhaseProfiler
+
+        profiler = PhaseProfiler()
+    if args.progress:
+        from repro.obs import SweepProgress
+
+        progress = SweepProgress()
+
+    with ambient:
+        games, checks = run_all(
+            quick=args.quick,
+            reliability=reliability,
+            profiler=profiler,
+            progress=progress,
+        )
+    if instr is not None:
+        instr.close()
+        if args.trace_out:
+            print(f"event trace written to {args.trace_out}\n")
+        if args.metrics:
+            print("== Metrics ==\n")
+            print(instr.metrics.to_json())
+            print()
+    if profiler is not None:
+        print("== Phase timings ==\n")
+        print(profiler.to_json())
+        print()
     if args.json:
         from repro.experiments.io import dump_results
 

@@ -14,9 +14,10 @@ completes and reports its degraded cells.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.blocking import Blocking
 from repro.core.engine import Adversary, Searcher
@@ -27,6 +28,10 @@ from repro.errors import ReproError
 from repro.graphs.base import Graph
 from repro.paging.eviction import EvictionPolicy
 from repro.reliability import ReliabilityConfig
+
+if TYPE_CHECKING:
+    from repro.obs.instrument import InstrumentationHook
+    from repro.obs.profiling import PhaseProfiler
 
 
 @dataclass
@@ -99,6 +104,8 @@ def run_game(
     validate_moves: bool = False,
     reliability: ReliabilityConfig | None = None,
     catch_errors: bool = True,
+    instrumentation: "InstrumentationHook | None" = None,
+    profiler: "PhaseProfiler | None" = None,
 ) -> ExperimentResult:
     """Play the adversary game and package the outcome.
 
@@ -110,6 +117,11 @@ def run_game(
     step-budget watchdog — becomes a degraded cell with
     :attr:`ExperimentResult.error` set and statistics recovered from
     the partial trace, so sweeps survive individual run failures.
+
+    ``instrumentation`` is forwarded to the :class:`Searcher` (omit it
+    to inherit any ambient hook installed via
+    :func:`repro.obs.use_instrumentation`). ``profiler`` times the game
+    under the phase ``game:<experiment>``.
     """
     result = ExperimentResult(
         experiment=experiment,
@@ -118,17 +130,24 @@ def run_game(
         lower_bound=lower_bound,
         upper_bound=upper_bound,
     )
+    timer = (
+        profiler.phase(f"game:{experiment}")
+        if profiler is not None
+        else contextlib.nullcontext()
+    )
     try:
-        searcher = Searcher(
-            graph,
-            blocking,
-            policy,
-            model,
-            eviction=eviction,
-            validate_moves=validate_moves,
-            reliability=reliability,
-        )
-        trace = searcher.run_adversary(adversary, num_steps)
+        with timer:
+            searcher = Searcher(
+                graph,
+                blocking,
+                policy,
+                model,
+                eviction=eviction,
+                validate_moves=validate_moves,
+                reliability=reliability,
+                instrumentation=instrumentation,
+            )
+            trace = searcher.run_adversary(adversary, num_steps)
     except ReproError as exc:
         if not catch_errors:
             raise
@@ -183,15 +202,18 @@ def run_worst_case(
     validate_moves: bool = False,
     reliability: ReliabilityConfig | None = None,
     catch_errors: bool = True,
+    instrumentation: "InstrumentationHook | None" = None,
+    profiler: "PhaseProfiler | None" = None,
 ) -> ExperimentResult:
     """Play several adversaries and keep the *worst* outcome (smallest
     sigma) — a stronger check of a construction's lower bound than any
     single adversary, since the guarantee must hold against all walks.
 
     The winning adversary's name is recorded in ``params['adversary']``.
-    Eviction policy, move validation, and the reliability model are
-    forwarded to every game. A completed game always beats a degraded
-    one for "worst"; among degraded games the first is kept.
+    Eviction policy, move validation, the reliability model, and the
+    instrumentation/profiler hooks are forwarded to every game. A
+    completed game always beats a degraded one for "worst"; among
+    degraded games the first is kept.
     """
     worst: ExperimentResult | None = None
     for name, adversary in adversaries.items():
@@ -211,6 +233,8 @@ def run_worst_case(
             validate_moves=validate_moves,
             reliability=reliability,
             catch_errors=catch_errors,
+            instrumentation=instrumentation,
+            profiler=profiler,
         )
         if (
             worst is None

@@ -13,7 +13,10 @@ Experiment ids match DESIGN.md: ``T1-R1`` .. ``T1-R10``, ``K-LB``,
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.profiling import PhaseProfiler
 
 from repro.adversaries import (
     DiagonalCorridorAdversary,
@@ -905,28 +908,99 @@ def ballcover_checks(seed: int = 11) -> list[CheckResult]:
 def run_all(
     quick: bool = False,
     reliability: ReliabilityConfig | None = None,
+    profiler: "PhaseProfiler | None" = None,
+    progress: "Callable[[int, int, str], None] | None" = None,
 ) -> tuple[list[ExperimentResult], list[CheckResult]]:
     """Run the whole Table 1 sweep. ``quick`` shrinks the traces for
     smoke runs (used by tests). ``reliability`` runs every game against
     the configured unreliable disk; per-run failures become degraded
-    cells (``ExperimentResult.error``) and the sweep still completes."""
+    cells (``ExperimentResult.error``) and the sweep still completes.
+
+    ``profiler`` times each named cell under the phase
+    ``table1.<cell>`` (see :class:`repro.obs.PhaseProfiler`).
+    ``progress`` is called as ``progress(done, total, label)`` after
+    every cell — :class:`repro.obs.SweepProgress` prints these with
+    elapsed time and an ETA.
+    """
     steps = 2_000 if quick else 15_000
+    game_cells: list[tuple[str, Callable[[], list[ExperimentResult]]]] = [
+        ("tree", lambda: tree_row(num_steps=steps, reliability=reliability)),
+        ("grid1d", lambda: grid1d_row(num_steps=steps, reliability=reliability)),
+        (
+            "grid1d-finite",
+            lambda: grid1d_finite_row(
+                num_steps=min(steps, 6_000), reliability=reliability
+            ),
+        ),
+        ("grid2d", lambda: grid2d_rows(num_steps=steps, reliability=reliability)),
+        ("gridd", lambda: gridd_rows(num_steps=steps, reliability=reliability)),
+        (
+            "gridd-reduced",
+            lambda: gridd_reduced_rows(
+                num_steps=min(steps, 6_000), reliability=reliability
+            ),
+        ),
+        (
+            "isothetic",
+            lambda: isothetic_rows(num_steps=steps, reliability=reliability),
+        ),
+        (
+            "redundancy-gap",
+            lambda: redundancy_gap_rows(
+                num_steps=min(steps, 6_000), reliability=reliability
+            ),
+        ),
+        ("diagonal", lambda: diagonal_row(num_steps=steps, reliability=reliability)),
+        (
+            "general",
+            lambda: general_rows(
+                num_steps=min(steps, 8_000), reliability=reliability
+            ),
+        ),
+        (
+            "geometric",
+            lambda: geometric_rows(
+                num_steps=min(steps, 6_000), reliability=reliability
+            ),
+        ),
+        (
+            "pathological",
+            lambda: pathological_rows(
+                num_steps=min(steps, 2_000), reliability=reliability
+            ),
+        ),
+        (
+            "nonuniform",
+            lambda: nonuniform_row(
+                num_steps=min(steps, 4_000), reliability=reliability
+            ),
+        ),
+    ]
+    check_cells: list[tuple[str, Callable[[], list[CheckResult]]]] = [
+        ("example1", example1_checks),
+        ("example2", example2_checks),
+        ("ballcover", ballcover_checks),
+    ]
+    total = len(game_cells) + len(check_cells)
+    done = 0
     games: list[ExperimentResult] = []
-    games += tree_row(num_steps=steps, reliability=reliability)
-    games += grid1d_row(num_steps=steps, reliability=reliability)
-    games += grid1d_finite_row(num_steps=min(steps, 6_000), reliability=reliability)
-    games += grid2d_rows(num_steps=steps, reliability=reliability)
-    games += gridd_rows(num_steps=steps, reliability=reliability)
-    games += gridd_reduced_rows(num_steps=min(steps, 6_000), reliability=reliability)
-    games += isothetic_rows(num_steps=steps, reliability=reliability)
-    games += redundancy_gap_rows(num_steps=min(steps, 6_000), reliability=reliability)
-    games += diagonal_row(num_steps=steps, reliability=reliability)
-    games += general_rows(num_steps=min(steps, 8_000), reliability=reliability)
-    games += geometric_rows(num_steps=min(steps, 6_000), reliability=reliability)
-    games += pathological_rows(num_steps=min(steps, 2_000), reliability=reliability)
-    games += nonuniform_row(num_steps=min(steps, 4_000), reliability=reliability)
     checks: list[CheckResult] = []
-    checks += example1_checks()
-    checks += example2_checks()
-    checks += ballcover_checks()
+    for name, cell in game_cells:
+        if profiler is not None:
+            with profiler.phase(f"table1.{name}"):
+                games += cell()
+        else:
+            games += cell()
+        done += 1
+        if progress is not None:
+            progress(done, total, name)
+    for name, cell in check_cells:
+        if profiler is not None:
+            with profiler.phase(f"table1.{name}"):
+                checks += cell()
+        else:
+            checks += cell()
+        done += 1
+        if progress is not None:
+            progress(done, total, name)
     return games, checks

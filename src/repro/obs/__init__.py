@@ -1,0 +1,130 @@
+"""Observability: event tracing, metrics, profiling, and replay.
+
+The instrumentation layer the ROADMAP's performance work stands on.
+Four pieces, all opt-in and zero-overhead when unconfigured:
+
+* **events + sinks** (`repro.obs.events`, `repro.obs.sinks`) — the
+  engine's life as eight typed events (run/step/fault/block_read/
+  retry/fallback/eviction/run_end) flowing into ring buffers, JSONL
+  files, or composites;
+* **instrumentation** (`repro.obs.instrument`) — the hook protocol the
+  engine emits into, either passed to ``Searcher(...)`` explicitly or
+  made ambient with :func:`use_instrumentation`;
+* **metrics** (`repro.obs.metrics`) — counters/gauges/histograms with
+  dict/JSON snapshots (per-block read counts, fault-gap distribution,
+  working-set trajectory, eviction churn, retry/fallback rates);
+* **profiling + replay** (`repro.obs.profiling`, `repro.obs.replay`) —
+  ``perf_counter`` phase rollups feeding the ``BENCH_*.json``
+  trajectory, and ``python -m repro.obs.replay`` to reconstruct,
+  verify, visualize, and diff JSONL traces.
+
+Quickstart::
+
+    from repro.obs import Instrumentation, JsonlSink, MetricsRegistry
+
+    metrics = MetricsRegistry()
+    instr = Instrumentation(sink=JsonlSink("trace.jsonl"), metrics=metrics)
+    searcher = Searcher(graph, blocking, policy, params, instrumentation=instr)
+    trace = searcher.run_adversary(adversary, 20_000)
+    instr.close()
+    print(metrics.to_json())
+"""
+
+from repro.obs.context import current_instrumentation, use_instrumentation
+from repro.obs.events import (
+    EVENT_TYPES,
+    BlockReadEvent,
+    EvictionEvent,
+    FallbackEvent,
+    FaultEvent,
+    RetryEvent,
+    RunEndEvent,
+    RunStartEvent,
+    StepEvent,
+    TraceEvent,
+    event_from_dict,
+)
+from repro.obs.instrument import (
+    CompositeHook,
+    FaultCallback,
+    Instrumentation,
+    InstrumentationHook,
+    LegacyOnFaultAdapter,
+    compose,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    MetricsRegistry,
+)
+from repro.obs.profiling import (
+    PhaseProfiler,
+    SweepProgress,
+    bench_rollup,
+    write_bench_json,
+)
+from repro.obs.replay import (
+    ReplayedRun,
+    diff_runs,
+    diff_traces,
+    fault_timeline,
+    gap_histogram_ascii,
+    replay_events,
+    replay_file,
+    verify_run,
+)
+from repro.obs.sinks import (
+    CompositeSink,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    TraceSink,
+    read_jsonl,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "BlockReadEvent",
+    "CompositeHook",
+    "CompositeSink",
+    "Counter",
+    "EvictionEvent",
+    "FallbackEvent",
+    "FaultCallback",
+    "FaultEvent",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "InstrumentationHook",
+    "JsonlSink",
+    "LabeledCounter",
+    "LegacyOnFaultAdapter",
+    "MetricsRegistry",
+    "NullSink",
+    "PhaseProfiler",
+    "ReplayedRun",
+    "RetryEvent",
+    "RingBufferSink",
+    "RunEndEvent",
+    "RunStartEvent",
+    "StepEvent",
+    "SweepProgress",
+    "TraceEvent",
+    "TraceSink",
+    "bench_rollup",
+    "compose",
+    "current_instrumentation",
+    "diff_runs",
+    "diff_traces",
+    "event_from_dict",
+    "fault_timeline",
+    "gap_histogram_ascii",
+    "read_jsonl",
+    "replay_events",
+    "replay_file",
+    "use_instrumentation",
+    "verify_run",
+    "write_bench_json",
+]

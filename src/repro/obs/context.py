@@ -1,0 +1,47 @@
+"""Ambient instrumentation.
+
+The experiment stack is many layers deep (CLI -> ``run_all`` -> row
+functions -> ``run_game`` -> ``Searcher``); threading an
+instrumentation object through every signature would churn the whole
+repository each time a layer is added. Instead the current hook lives
+in a :class:`~contextvars.ContextVar`: :func:`use_instrumentation`
+scopes it, and :class:`~repro.core.engine.Searcher` falls back to
+:func:`current_instrumentation` when none is passed explicitly.
+
+The lookup happens once per ``Searcher`` construction (never per step
+or per fault), so the uninstrumented engine keeps its zero-overhead
+hot path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.obs.instrument import InstrumentationHook
+
+_current: ContextVar["InstrumentationHook | None"] = ContextVar(
+    "repro_instrumentation", default=None
+)
+
+
+def current_instrumentation() -> "InstrumentationHook | None":
+    """The ambient hook new searchers pick up (None when unset)."""
+    return _current.get()
+
+
+@contextmanager
+def use_instrumentation(
+    hook: "InstrumentationHook | None",
+) -> Iterator["InstrumentationHook | None"]:
+    """Make ``hook`` ambient for the duration of the ``with`` block.
+
+    Passing ``None`` explicitly shadows (disables) any outer hook.
+    """
+    token = _current.set(hook)
+    try:
+        yield hook
+    finally:
+        _current.reset(token)

@@ -1,0 +1,226 @@
+"""Typed trace events.
+
+The engine's observable life is eight event kinds, mirroring the moves
+of the Section 2 game: a run starts (``run_start``), the pathfront
+crosses edges (``step``), lands on uncovered vertices (``fault``), the
+pager reads blocks (``block_read``) after freeing room (``eviction``),
+an unreliable disk forces re-reads (``retry``) and replica fallbacks
+(``fallback``), and the run ends (``run_end``) carrying the final
+:class:`~repro.core.stats.SearchTrace` snapshot.
+
+Events are plain frozen dataclasses with a stable wire form
+(:meth:`TraceEvent.to_dict` / :func:`event_from_dict`): one JSON object
+per event, ``{"event": <kind>, "run": <id>, ...}``. Vertices and block
+ids are arbitrary hashables in memory; on the wire, tuples become JSON
+arrays (:func:`jsonable`) and are converted back on load
+(:func:`retuple`), so a JSONL trace round-trips exactly for the
+int/str/tuple identifiers every substrate in this repository uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, ClassVar, Mapping
+
+from repro.errors import ReproError
+
+
+def jsonable(value: Any) -> Any:
+    """Convert a value to a JSON-serializable form (tuples -> lists,
+    recursively; exotic types fall back to ``str``)."""
+    if isinstance(value, (tuple, list)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def retuple(value: Any) -> Any:
+    """Undo :func:`jsonable` for identifiers: JSON arrays back to
+    tuples, recursively. Dicts keep their keys (they were stringified
+    on the way out and stay strings)."""
+    if isinstance(value, list):
+        return tuple(retuple(v) for v in value)
+    if isinstance(value, dict):
+        return {k: retuple(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base of all trace events; ``run`` ties an event to its run."""
+
+    kind: ClassVar[str] = "?"
+
+    run: int
+
+    def to_dict(self) -> dict:
+        """The JSON-ready wire form of this event."""
+        payload: dict = {"event": self.kind}
+        payload.update(asdict(self))
+        return jsonable(payload)
+
+
+@dataclass(frozen=True)
+class RunStartEvent(TraceEvent):
+    """A search run began.
+
+    ``read_cost`` is the reliability layer's per-attempt modeled cost
+    (``None`` on a reliable disk) — replay needs it to reconstruct
+    ``io_time``.
+    """
+
+    kind: ClassVar[str] = "run_start"
+
+    driver: str  # "path" | "adversary"
+    block_size: int
+    memory_size: int
+    model: str  # "weak" | "strong"
+    read_cost: float | None = None
+
+
+@dataclass(frozen=True)
+class StepEvent(TraceEvent):
+    """The pathfront crossed one edge, arriving at ``vertex``."""
+
+    kind: ClassVar[str] = "step"
+
+    vertex: Any
+
+
+@dataclass(frozen=True)
+class FaultEvent(TraceEvent):
+    """The pathfront arrived at an uncovered vertex.
+
+    ``gap`` is the steps since the previous fault (the entry appended
+    to ``SearchTrace.fault_gaps``); ``index`` is the 1-based fault
+    ordinal within the run.
+    """
+
+    kind: ClassVar[str] = "fault"
+
+    vertex: Any
+    gap: int
+    index: int
+
+
+@dataclass(frozen=True)
+class BlockReadEvent(TraceEvent):
+    """A block was successfully read and loaded to service a fault.
+
+    ``occupancy``/``covered`` snapshot memory after the load — the
+    working-set trajectory, one sample per fault.
+    """
+
+    kind: ClassVar[str] = "block_read"
+
+    block_id: Any
+    vertex: Any
+    size: int
+    occupancy: int
+    covered: int
+
+
+@dataclass(frozen=True)
+class RetryEvent(TraceEvent):
+    """One *failed* physical read attempt.
+
+    ``outcome`` is ``"transient"``, ``"corrupt"``, or ``"lost"``;
+    ``delay`` is the granted backoff before the next attempt, ``None``
+    when the failure was terminal (no retry granted). Every failed
+    attempt emits exactly one of these, so ``failed_reads`` is their
+    count and ``retries`` the count of those with a delay.
+    """
+
+    kind: ClassVar[str] = "retry"
+
+    block_id: Any
+    attempt: int
+    outcome: str
+    delay: float | None
+
+
+@dataclass(frozen=True)
+class FallbackEvent(TraceEvent):
+    """A fault was serviced from an alternate replica after the chosen
+    block proved unreadable (the storage blow-up as redundancy)."""
+
+    kind: ClassVar[str] = "fallback"
+
+    vertex: Any
+    failed_block: Any
+    block_id: Any
+
+
+@dataclass(frozen=True)
+class EvictionEvent(TraceEvent):
+    """Memory freed room for an incoming block.
+
+    ``block_ids`` lists the flushed blocks in the weak model (``None``
+    in the strong model, where copies are individually evictable);
+    ``copies`` is the number of vertex copies freed in either model;
+    ``occupancy`` is memory occupancy after the flush.
+    """
+
+    kind: ClassVar[str] = "eviction"
+
+    block_ids: tuple | None
+    copies: int
+    occupancy: int
+
+
+@dataclass(frozen=True)
+class RunEndEvent(TraceEvent):
+    """The run finished (normally or by error).
+
+    ``trace`` is the engine's own final counter snapshot
+    (:meth:`~repro.core.stats.SearchTrace.snapshot`) — the ground
+    truth replay verifies its reconstruction against. ``error`` names
+    the exception type when the run died mid-flight.
+    """
+
+    kind: ClassVar[str] = "run_end"
+
+    trace: Mapping
+    error: str | None = None
+
+
+EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        RunStartEvent,
+        StepEvent,
+        FaultEvent,
+        BlockReadEvent,
+        RetryEvent,
+        FallbackEvent,
+        EvictionEvent,
+        RunEndEvent,
+    )
+}
+
+
+def event_from_dict(payload: Mapping) -> TraceEvent:
+    """Rebuild an event from its wire form.
+
+    Identifier fields (vertices, block ids) are retupled; raises
+    :class:`ReproError` on unknown kinds or missing fields.
+    """
+    kind = payload.get("event")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ReproError(f"unknown trace event kind {kind!r}")
+    names = {f.name for f in fields(cls)}
+    kwargs = {}
+    for name in names:
+        if name not in payload:
+            raise ReproError(f"{kind} event missing field {name!r}: {payload}")
+        value = payload[name]
+        if name in ("vertex", "block_id", "failed_block", "block_ids"):
+            value = retuple(value)
+            if name == "block_ids" and value is not None:
+                value = tuple(value)
+        kwargs[name] = value
+    return cls(**kwargs)

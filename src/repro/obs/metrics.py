@@ -1,0 +1,155 @@
+"""A small metrics registry: counters, gauges, histograms.
+
+Stdlib-only and synchronous — the engine is single-threaded modeled
+time, so there is nothing to lock. The registry is a flat namespace of
+named instruments with a JSON-ready :meth:`MetricsRegistry.snapshot`,
+which is what ``python -m repro.experiments --metrics`` prints and the
+benchmarks fold into their ``BENCH_*.json`` rollups.
+
+Instruments:
+
+* :class:`Counter` — monotone count (faults, retries, evicted blocks);
+* :class:`LabeledCounter` — a counter per key (reads *per block id*,
+  the thrash map);
+* :class:`Gauge` — last-written value (current working-set size);
+* :class:`Histogram` — exact value->occurrences map plus running
+  min/max/sum (fault gaps, working-set samples). Exact counting is
+  affordable because the observed values are small ints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Hashable
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """The most recently written value (None until first set)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> float | None:
+        return self.value
+
+
+class LabeledCounter:
+    """A family of counts keyed by label (e.g. per-block read counts)."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: dict[Hashable, int] = {}
+
+    def inc(self, key: Hashable, amount: int = 1) -> None:
+        self.counts[key] = self.counts.get(key, 0) + amount
+
+    def top(self, n: int = 10) -> list[tuple[Hashable, int]]:
+        """The ``n`` hottest keys, descending."""
+        return sorted(self.counts.items(), key=lambda kv: (-kv[1], str(kv[0])))[:n]
+
+    def snapshot(self) -> dict[str, int]:
+        return {str(k): v for k, v in sorted(self.counts.items(), key=lambda kv: str(kv[0]))}
+
+
+class Histogram:
+    """Exact distribution of observed values."""
+
+    __slots__ = ("counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.counts: dict[float, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[value] = self.counts.get(value, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "values": {str(k): v for k, v in sorted(self.counts.items())},
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first touch.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+
+    def _get(self, name: str, cls: type) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def labeled_counter(self, name: str) -> LabeledCounter:
+        return self._get(name, LabeledCounter)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict:
+        """All instruments as plain JSON-ready values, sorted by name."""
+        return {
+            name: instrument.snapshot()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -1,0 +1,193 @@
+"""Phase profiling and the standardized benchmark rollup.
+
+:class:`PhaseProfiler` accumulates ``perf_counter`` wall time per named
+phase — the harness wraps each engine run and each Table 1 sweep cell
+in one, so "where did the minutes go" is a machine-readable report
+instead of a guess. :class:`SweepProgress` turns the same clock into
+the CLI's ``cells done / elapsed / ETA`` lines.
+
+:func:`bench_rollup` + :func:`write_bench_json` are the emission path
+for the repository's ``BENCH_<name>.json`` trajectory: every
+``benchmarks/bench_*.py`` module's timings and key counters, rolled
+into one standard JSON document per module at the repo root (wired up
+in ``benchmarks/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+BENCH_SCHEMA = 1
+
+
+class PhaseStats:
+    """Accumulated wall time for one phase."""
+
+    __slots__ = ("name", "seconds", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.count = 0
+
+    @property
+    def mean_s(self) -> float:
+        return self.seconds / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "phase": self.name,
+            "seconds": self.seconds,
+            "count": self.count,
+            "mean_s": self.mean_s,
+        }
+
+
+class PhaseProfiler:
+    """Named ``perf_counter`` timers with a machine-readable rollup.
+
+    >>> profiler = PhaseProfiler()
+    >>> with profiler.phase("table1.tree"):
+    ...     tree_row()
+    >>> profiler.report()["phases"][0]["phase"]
+    'table1.tree'
+
+    Phases may repeat (times accumulate) and nest (each level is
+    charged its full wall time under its own name).
+    """
+
+    def __init__(self, clock: Callable[[], float] = perf_counter) -> None:
+        self._clock = clock
+        self._phases: dict[str, PhaseStats] = {}
+        self._created = clock()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.record(name, self._clock() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Charge ``seconds`` of wall time to ``name`` directly."""
+        stats = self._phases.get(name)
+        if stats is None:
+            stats = self._phases[name] = PhaseStats(name)
+        stats.seconds += seconds
+        stats.count += 1
+
+    def __getitem__(self, name: str) -> PhaseStats:
+        return self._phases[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._phases
+
+    def report(self) -> dict:
+        """All phases (insertion order) plus totals, JSON-ready."""
+        phases = [stats.snapshot() for stats in self._phases.values()]
+        return {
+            "schema": BENCH_SCHEMA,
+            "phases": phases,
+            "total_s": sum(p["seconds"] for p in phases),
+            "wall_s": self._clock() - self._created,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.report(), indent=indent, sort_keys=True)
+
+
+class SweepProgress:
+    """Formats ``cells done / elapsed / ETA`` progress lines.
+
+    Call it after each finished cell: ``progress(done, total, label)``.
+    ETA is the naive linear extrapolation — honest enough for a sweep
+    whose cells are similar orders of magnitude.
+    """
+
+    def __init__(
+        self,
+        emit: Callable[[str], None] = print,
+        clock: Callable[[], float] = perf_counter,
+    ) -> None:
+        self._emit = emit
+        self._clock = clock
+        self._start = clock()
+
+    def __call__(self, done: int, total: int, label: str) -> None:
+        elapsed = self._clock() - self._start
+        if done > 0 and done < total:
+            eta = f"{elapsed / done * (total - done):.1f}s"
+        else:
+            eta = "done" if done >= total else "?"
+        self._emit(
+            f"[{done}/{total}] {label}  elapsed {elapsed:.1f}s  eta {eta}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The BENCH_*.json emission path.
+# ---------------------------------------------------------------------------
+
+
+def _stat_value(stats: Any, field: str) -> float | None:
+    """Fish a timing statistic out of a pytest-benchmark stats object
+    (tolerating both the Metadata and the inner Stats shapes)."""
+    for candidate in (stats, getattr(stats, "stats", None)):
+        if candidate is None:
+            continue
+        try:
+            value = getattr(candidate, field)
+        except Exception:  # stats objects raise on empty data
+            continue
+        if isinstance(value, (int, float)):
+            return float(value)
+    return None
+
+
+def bench_rollup(name: str, benchmarks: Iterable[Any]) -> dict:
+    """Fold a module's pytest-benchmark results into the standard
+    ``BENCH_*.json`` payload: one timing entry per benchmarked test
+    (min/mean/max seconds and rounds) plus that test's ``extra_info``
+    counters (the sigma rows and check counts the conftest helpers
+    attach)."""
+    timings = []
+    total = 0.0
+    for meta in benchmarks:
+        stats = getattr(meta, "stats", None)
+        entry: dict = {
+            "test": getattr(meta, "name", None) or str(meta),
+            "rounds": _stat_value(stats, "rounds"),
+            "min_s": _stat_value(stats, "min"),
+            "mean_s": _stat_value(stats, "mean"),
+            "max_s": _stat_value(stats, "max"),
+        }
+        extra = getattr(meta, "extra_info", None)
+        if extra:
+            entry["counters"] = dict(extra)
+        if entry["mean_s"] is not None and entry["rounds"]:
+            total += entry["mean_s"] * entry["rounds"]
+        timings.append(entry)
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "source": "repro.obs.profiling.bench_rollup",
+        "tests": len(timings),
+        "total_s": total,
+        "timings": sorted(timings, key=lambda t: str(t["test"])),
+    }
+
+
+def write_bench_json(
+    name: str, payload: Mapping, root: str | Path = "."
+) -> Path:
+    """Write ``payload`` to ``<root>/BENCH_<name>.json`` and return the
+    path. ``name`` should be the bench module's stem without the
+    ``bench_`` prefix (``table1_tree`` -> ``BENCH_table1_tree.json``)."""
+    path = Path(root) / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,342 @@
+"""Trace replay: reconstruct, verify, visualize, and diff JSONL traces.
+
+A JSONL trace (written by :class:`~repro.obs.sinks.JsonlSink`) is a
+complete record of the Section 2 game: replaying its events rebuilds
+every :class:`~repro.core.stats.SearchTrace` counter — steps, faults,
+fault gaps, the block-read sequence, retry/fallback accounting, and
+modeled I/O time — without re-running the search. Each run's
+``run_end`` event carries the engine's own final snapshot, so replay
+doubles as an end-to-end integrity check of the instrumentation layer
+(:func:`verify_run`; CI runs it after every traced sweep).
+
+Command line::
+
+    python -m repro.obs.replay trace.jsonl            # per-run summaries
+    python -m repro.obs.replay trace.jsonl --check    # verify reconstruction
+    python -m repro.obs.replay trace.jsonl --timeline # ASCII fault timelines
+    python -m repro.obs.replay a.jsonl --diff b.jsonl # compare two traces
+
+Exit status: nonzero when ``--check`` finds a reconstruction mismatch
+or ``--diff`` finds differing runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.stats import SearchTrace
+from repro.errors import ReproError
+from repro.obs.events import (
+    BlockReadEvent,
+    EvictionEvent,
+    FallbackEvent,
+    FaultEvent,
+    RetryEvent,
+    RunEndEvent,
+    RunStartEvent,
+    StepEvent,
+    TraceEvent,
+    jsonable,
+)
+from repro.obs.sinks import read_jsonl
+
+_TIMELINE_CHARS = " .:-=+*#%@"
+
+
+@dataclass
+class ReplayedRun:
+    """One run reconstructed from its events."""
+
+    run: int
+    driver: str
+    block_size: int
+    memory_size: int
+    model: str
+    read_cost: float | None
+    trace: SearchTrace = field(default_factory=SearchTrace)
+    events: int = 0
+    evictions: int = 0
+    evicted_copies: int = 0
+    declared: dict | None = None  # the run_end snapshot, wire form
+    error: str | None = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether the trace contained this run's ``run_end`` event."""
+        return self.declared is not None
+
+    def describe(self) -> str:
+        head = (
+            f"run {self.run} [{self.driver} {self.model} "
+            f"B={self.block_size} M={self.memory_size}]"
+        )
+        tail = f" ERROR={self.error}" if self.error else ""
+        if not self.complete:
+            tail += " (truncated: no run_end)"
+        return f"{head}: {self.trace.summary()}{tail}"
+
+
+def replay_events(events: Iterable[TraceEvent]) -> list[ReplayedRun]:
+    """Fold an event stream back into per-run search traces.
+
+    Counter semantics mirror the engine exactly: one ``step`` event per
+    path step, one ``fault`` per uncovered arrival, one ``block_read``
+    per successful physical read (charged ``read_cost`` of I/O time),
+    one ``retry`` per *failed* attempt (charged ``read_cost`` plus any
+    granted backoff delay, in that order — float-exact against the
+    engine's own accumulation), one ``fallback`` per replica rescue.
+    """
+    runs: dict[int, ReplayedRun] = {}
+    for event in events:
+        if isinstance(event, RunStartEvent):
+            if event.run in runs:
+                raise ReproError(f"duplicate run_start for run {event.run}")
+            runs[event.run] = ReplayedRun(
+                run=event.run,
+                driver=event.driver,
+                block_size=event.block_size,
+                memory_size=event.memory_size,
+                model=event.model,
+                read_cost=event.read_cost,
+            )
+            continue
+        state = runs.get(event.run)
+        if state is None:
+            raise ReproError(
+                f"event for run {event.run} before its run_start: {event}"
+            )
+        state.events += 1
+        trace = state.trace
+        if isinstance(event, StepEvent):
+            trace.steps += 1
+        elif isinstance(event, FaultEvent):
+            trace.faults += 1
+            trace.fault_gaps.append(event.gap)
+        elif isinstance(event, BlockReadEvent):
+            trace.blocks_read += 1
+            trace.block_reads.append(event.block_id)
+            if state.read_cost is not None:
+                trace.io_time += state.read_cost
+        elif isinstance(event, RetryEvent):
+            trace.failed_reads += 1
+            if event.outcome == "corrupt":
+                trace.corrupt_reads += 1
+            if state.read_cost is not None:
+                trace.io_time += state.read_cost
+            if event.delay is not None:
+                trace.retries += 1
+                trace.io_time += event.delay
+        elif isinstance(event, FallbackEvent):
+            trace.fallback_reads += 1
+        elif isinstance(event, EvictionEvent):
+            state.evictions += 1
+            state.evicted_copies += event.copies
+        elif isinstance(event, RunEndEvent):
+            state.declared = dict(event.trace)
+            state.error = event.error
+    return [runs[k] for k in sorted(runs)]
+
+
+def replay_file(path: str | Path) -> list[ReplayedRun]:
+    """Replay a JSONL trace file."""
+    return replay_events(read_jsonl(path))
+
+
+def verify_run(run: ReplayedRun) -> list[str]:
+    """Field-by-field mismatches between the reconstructed trace and
+    the engine's declared ``run_end`` snapshot (empty = exact match).
+
+    Comparison happens in wire (JSON) form, so tuple/list identifier
+    spelling cannot cause false alarms.
+    """
+    if run.declared is None:
+        return [f"run {run.run}: trace is truncated (no run_end event)"]
+    reconstructed = jsonable(run.trace.snapshot())
+    mismatches = []
+    for key in sorted(set(reconstructed) | set(run.declared)):
+        got = reconstructed.get(key)
+        want = run.declared.get(key)
+        if got != want:
+            mismatches.append(
+                f"run {run.run}: {key} reconstructed={got!r} declared={want!r}"
+            )
+    return mismatches
+
+
+# ---------------------------------------------------------------------------
+# ASCII rendering.
+# ---------------------------------------------------------------------------
+
+
+def fault_timeline(trace: SearchTrace, width: int = 60) -> str:
+    """The run's faults, bucketed along its step axis as a density
+    strip — where in the walk the blocking was hurting."""
+    width = max(width, 1)
+    steps = max(trace.steps, 1)
+    bins = [0] * width
+    position = 0
+    for gap in trace.fault_gaps:
+        position += gap
+        index = min(position * width // steps, width - 1)
+        bins[index] += 1
+    peak = max(bins) if any(bins) else 1
+    strip = "".join(
+        _TIMELINE_CHARS[0]
+        if count == 0
+        else _TIMELINE_CHARS[1 + count * (len(_TIMELINE_CHARS) - 2) // peak]
+        for count in bins
+    )
+    return (
+        f"faults over {trace.steps} steps "
+        f"({trace.faults} faults, peak {peak}/bin)\n|{strip}|"
+    )
+
+
+def gap_histogram_ascii(trace: SearchTrace, width: int = 40) -> str:
+    """The fault-gap distribution as horizontal bars: how often the
+    blocking was pushed to each spacing (its worst case is the top
+    row)."""
+    histogram = trace.gap_histogram()
+    if not histogram:
+        return "no faults recorded"
+    peak = max(histogram.values())
+    lines = ["gap      count"]
+    for gap, count in histogram.items():
+        bar = "#" * max(1, count * width // peak)
+        lines.append(f"{gap:>6} {count:>6} {bar}")
+    return "\n".join(lines)
+
+
+def diff_traces(a: SearchTrace, b: SearchTrace) -> list[str]:
+    """Human-readable differences between two traces (empty = equal)."""
+    differences = []
+    for name in (
+        "steps",
+        "faults",
+        "blocks_read",
+        "retries",
+        "failed_reads",
+        "corrupt_reads",
+        "fallback_reads",
+        "io_time",
+    ):
+        left, right = getattr(a, name), getattr(b, name)
+        if left != right:
+            differences.append(f"{name}: {left} != {right}")
+    for name in ("fault_gaps", "block_reads"):
+        left, right = getattr(a, name), getattr(b, name)
+        if left != right:
+            index = next(
+                (
+                    i
+                    for i, (x, y) in enumerate(zip(left, right))
+                    if x != y
+                ),
+                min(len(left), len(right)),
+            )
+            at_left = repr(left[index]) if index < len(left) else "<end>"
+            at_right = repr(right[index]) if index < len(right) else "<end>"
+            differences.append(
+                f"{name}: first divergence at index {index} "
+                f"({at_left} != {at_right}), "
+                f"lengths {len(left)}/{len(right)}"
+            )
+    return differences
+
+
+def diff_runs(
+    left: Sequence[ReplayedRun], right: Sequence[ReplayedRun]
+) -> list[str]:
+    """Pair runs by position and report every difference."""
+    differences = []
+    if len(left) != len(right):
+        differences.append(f"run counts differ: {len(left)} != {len(right)}")
+    for a, b in zip(left, right):
+        for line in diff_traces(a.trace, b.trace):
+            differences.append(f"run {a.run}: {line}")
+    return differences
+
+
+# ---------------------------------------------------------------------------
+# CLI.
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.replay",
+        description="Replay, verify, and diff JSONL search traces.",
+    )
+    parser.add_argument("trace", help="JSONL trace file to replay")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify each run's reconstruction against its run_end "
+        "snapshot; exit 1 on any mismatch",
+    )
+    parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="render each run's ASCII fault timeline and gap histogram",
+    )
+    parser.add_argument(
+        "--diff",
+        metavar="OTHER",
+        help="compare against a second trace file; exit 1 if they differ",
+    )
+    parser.add_argument(
+        "--run",
+        type=int,
+        metavar="N",
+        help="restrict output to one run id",
+    )
+    args = parser.parse_args(argv)
+
+    runs = replay_file(args.trace)
+    if args.run is not None:
+        runs = [r for r in runs if r.run == args.run]
+        if not runs:
+            print(f"no run {args.run} in {args.trace}", file=sys.stderr)
+            return 2
+    print(f"{args.trace}: {len(runs)} run(s)")
+    exit_code = 0
+
+    for run in runs:
+        print(run.describe())
+        if args.timeline:
+            print(fault_timeline(run.trace))
+            print(gap_histogram_ascii(run.trace))
+            print()
+
+    if args.check:
+        mismatches = [line for run in runs for line in verify_run(run)]
+        if mismatches:
+            print(f"\n{len(mismatches)} reconstruction mismatch(es):")
+            for line in mismatches:
+                print(f"  - {line}")
+            exit_code = 1
+        else:
+            print(f"\nall {len(runs)} run(s) reconstruct exactly")
+
+    if args.diff:
+        other = replay_file(args.diff)
+        if args.run is not None:
+            other = [r for r in other if r.run == args.run]
+        differences = diff_runs(runs, other)
+        if differences:
+            print(f"\n{len(differences)} difference(s) vs {args.diff}:")
+            for line in differences:
+                print(f"  - {line}")
+            exit_code = 1
+        else:
+            print(f"\ntraces match {args.diff} exactly")
+
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Event sinks: where emitted trace events go.
+
+A sink is anything with ``emit(event)`` and ``close()``. Four are
+provided:
+
+* :class:`NullSink` — swallows everything (metrics-only setups);
+* :class:`RingBufferSink` — keeps the last ``capacity`` events in
+  memory (always-on flight recorder: cheap until you need the tail);
+* :class:`JsonlSink` — appends one JSON object per event to a file,
+  the format ``repro.obs.replay`` consumes;
+* :class:`CompositeSink` — fans out to several sinks.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.obs.events import TraceEvent, event_from_dict
+
+
+class TraceSink(abc.ABC):
+    """Receives every event an :class:`~repro.obs.instrument.Instrumentation`
+    emits, in order."""
+
+    @abc.abstractmethod
+    def emit(self, event: TraceEvent) -> None:
+        """Accept one event."""
+
+    def close(self) -> None:
+        """Flush and release resources (default: nothing to do)."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Discards events (still counts them, for sanity checks)."""
+
+    def __init__(self) -> None:
+        self.events_seen = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+
+
+class RingBufferSink(TraceSink):
+    """Holds the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self.events_seen = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._buffer.append(event)
+        self.events_seen += 1
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class JsonlSink(TraceSink):
+    """Writes events as JSON Lines to ``path`` (or an open stream).
+
+    The file is opened lazily on the first event and truncated, so
+    constructing the sink is free and an unused sink leaves no file.
+    """
+
+    def __init__(self, path: str | Path | None = None, stream: IO[str] | None = None) -> None:
+        if (path is None) == (stream is None):
+            raise ValueError("JsonlSink needs exactly one of path or stream")
+        self.path = Path(path) if path is not None else None
+        self._stream = stream
+        self._owns_stream = stream is None
+        self.events_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._stream is None:
+            assert self.path is not None
+            self._stream = self.path.open("w", encoding="utf-8")
+        self._stream.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._stream.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.flush()
+            if self._owns_stream:
+                self._stream.close()
+                self._stream = None
+
+
+class CompositeSink(TraceSink):
+    """Fans each event out to every child sink, in order."""
+
+    def __init__(self, *sinks: TraceSink) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def read_jsonl(path: str | Path) -> Iterable[TraceEvent]:
+    """Parse a JSONL trace file back into typed events, in file order."""
+    with Path(path).open("r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield event_from_dict(json.loads(line))

@@ -16,11 +16,15 @@ algorithm proofs use two disciplines, both provided here:
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING
 
 from repro.core.block import Block
 from repro.core.memory import Memory, StrongMemory, WeakMemory
 from repro.core.model import ModelParams, PagingModel
 from repro.errors import PagingError
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.obs
+    from repro.obs.instrument import InstrumentationHook
 
 
 class EvictionPolicy(abc.ABC):
@@ -98,6 +102,47 @@ class FifoCopiesEviction(EvictionPolicy):
                     f"M={memory.capacity}"
                 )
             memory.evict_oldest(deficit)
+
+
+class InstrumentedEviction(EvictionPolicy):
+    """Wraps any eviction policy and reports what it flushed.
+
+    The engine installs this wrapper only when instrumentation is
+    configured, so the uninstrumented path never pays for it. Flushes
+    are observed by differencing memory state around the inner
+    policy's ``make_room`` — policy-agnostic, so every current and
+    future discipline is covered without touching its code. One
+    ``eviction`` event is emitted per fault that actually freed room
+    (eviction *churn* is their count and total copies)."""
+
+    def __init__(self, inner: EvictionPolicy, hook: "InstrumentationHook") -> None:
+        self.inner = inner
+        self.hook = hook
+
+    def make_room(self, memory: Memory, incoming: Block) -> None:
+        if isinstance(memory, WeakMemory):
+            before = memory.resident_blocks()
+            occupancy_before = memory.occupancy
+            self.inner.make_room(memory, incoming)
+            survivors = set(memory.resident_blocks())
+            evicted = tuple(b for b in before if b not in survivors)
+            if evicted:
+                self.hook.eviction(
+                    block_ids=evicted,
+                    copies=occupancy_before - memory.occupancy,
+                    occupancy=memory.occupancy,
+                )
+        else:
+            occupancy_before = memory.occupancy
+            self.inner.make_room(memory, incoming)
+            freed = occupancy_before - memory.occupancy
+            if freed > 0:
+                self.hook.eviction(
+                    block_ids=None, copies=freed, occupancy=memory.occupancy
+                )
+
+    def reset(self) -> None:
+        self.inner.reset()
 
 
 def default_eviction(params: ModelParams) -> EvictionPolicy:

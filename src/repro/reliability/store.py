@@ -16,6 +16,7 @@ the watchdog's step budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.block import Block
 from repro.core.blocking import Blocking
@@ -24,6 +25,9 @@ from repro.errors import BlockReadError, ReproError
 from repro.reliability.faults import FaultInjector, FaultOutcome, NeverFail
 from repro.reliability.retry import NoRetry, RetryPolicy
 from repro.typing import BlockId
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.obs
+    from repro.obs.instrument import InstrumentationHook
 
 
 class ResilientBlockStore:
@@ -42,6 +46,11 @@ class ResilientBlockStore:
         self.injector = injector if injector is not None else NeverFail()
         self.retry = retry if retry is not None else NoRetry()
         self.read_cost = read_cost
+        # Set by the engine when tracing is configured: every *failed*
+        # physical attempt then emits one ``retry`` event (outcome +
+        # granted backoff), which is exactly what replay needs to
+        # reconstruct failed_reads/corrupt_reads/retries/io_time.
+        self.instrumentation: "InstrumentationHook | None" = None
 
     def reset(self) -> None:
         """Rewind injector and retry state for a fresh run."""
@@ -55,6 +64,7 @@ class ResilientBlockStore:
             BlockReadError: when the block is permanently lost or the
                 retry policy refused another attempt.
         """
+        instr = self.instrumentation
         attempt = 0
         while True:
             attempt += 1
@@ -66,6 +76,8 @@ class ResilientBlockStore:
             if outcome is FaultOutcome.CORRUPT:
                 trace.corrupt_reads += 1
             if outcome is FaultOutcome.LOST:
+                if instr is not None:
+                    instr.retry(block_id, attempt, "lost", None)
                 raise BlockReadError(
                     f"block {block_id!r} is permanently lost "
                     f"(attempt {attempt})",
@@ -73,8 +85,13 @@ class ResilientBlockStore:
                     attempts=attempt,
                     permanent=True,
                 )
+            outcome_name = (
+                "corrupt" if outcome is FaultOutcome.CORRUPT else "transient"
+            )
             delay = self.retry.grant(attempt)
             if delay is None:
+                if instr is not None:
+                    instr.retry(block_id, attempt, outcome_name, None)
                 raise BlockReadError(
                     f"read of block {block_id!r} failed and the retry "
                     f"policy refused another attempt (after {attempt})",
@@ -84,6 +101,8 @@ class ResilientBlockStore:
                 )
             trace.retries += 1
             trace.io_time += delay
+            if instr is not None:
+                instr.retry(block_id, attempt, outcome_name, delay)
 
 
 @dataclass

@@ -22,11 +22,48 @@ class TestCli:
         for token in ("T1-R1", "T1-R5", "T1-R8-GAP", "K-LB", "EX1", "BC"):
             assert token in output
 
+    @pytest.mark.slow
+    def test_quick_run_with_trace_and_metrics(self, tmp_path):
+        """--trace-out writes a replayable JSONL event stream and
+        --metrics prints the aggregate registry; the replay tool must
+        reconstruct every run exactly."""
+        trace_path = tmp_path / "trace.jsonl"
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(
+                ["--quick", "--trace-out", str(trace_path), "--metrics",
+                 "--progress", "--profile"]
+            )
+        output = buffer.getvalue()
+        assert code == 0
+        assert trace_path.exists()
+        assert "== Metrics ==" in output
+        assert "== Phase timings ==" in output
+        assert "[1/" in output  # progress lines
+        import json
+
+        metrics = json.loads(
+            output.split("== Metrics ==")[1].split("== Phase timings ==")[0]
+        )
+        assert metrics["runs"] > 10
+        assert metrics["faults"] > 0
+
+        from repro.obs.replay import main as replay_main
+
+        replay_buffer = io.StringIO()
+        with redirect_stdout(replay_buffer):
+            replay_code = replay_main([str(trace_path), "--check"])
+        assert replay_code == 0
+        assert "reconstruct exactly" in replay_buffer.getvalue()
+
     def test_help_mentions_quick(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])
         assert excinfo.value.code == 0
-        assert "--quick" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "--quick" in out
+        assert "--trace-out" in out
+        assert "--metrics" in out
 
 
 class TestResultsIo:

@@ -1,0 +1,520 @@
+"""The observability subsystem: events, sinks, metrics, replay.
+
+The load-bearing invariants:
+
+* configuring instrumentation never changes what the engine computes —
+  instrumented and uninstrumented runs produce *equal* traces;
+* a JSONL event stream is a complete record — ``repro.obs.replay``
+  reconstructs every ``SearchTrace`` counter exactly, ``io_time``
+  included, and verifies it against the engine's own ``run_end``
+  snapshot;
+* the legacy ``Searcher(on_fault=...)`` callback keeps working, now
+  routed through the hook layer;
+* ``Memory.covered_count`` (the O(1) working-set size the hooks
+  sample) always agrees with ``len(covered_vertices())``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import FirstBlockPolicy, ModelParams, Searcher
+from repro.adversaries import RandomWalkAdversary
+from repro.blockings import contiguous_1d_blocking, offset_1d_blocking
+from repro.core.block import Block
+from repro.core.memory import StrongMemory, WeakMemory
+from repro.core.model import PagingModel
+from repro.core.stats import SearchTrace
+from repro.errors import BlockReadError
+from repro.graphs import InfiniteGridGraph
+from repro.obs import (
+    CompositeSink,
+    Instrumentation,
+    JsonlSink,
+    MetricsRegistry,
+    NullSink,
+    PhaseProfiler,
+    RingBufferSink,
+    SweepProgress,
+    bench_rollup,
+    current_instrumentation,
+    diff_runs,
+    diff_traces,
+    fault_timeline,
+    gap_histogram_ascii,
+    read_jsonl,
+    replay_events,
+    replay_file,
+    use_instrumentation,
+    verify_run,
+    write_bench_json,
+)
+from repro.obs.events import (
+    BlockReadEvent,
+    EvictionEvent,
+    FallbackEvent,
+    FaultEvent,
+    RetryEvent,
+    RunEndEvent,
+    RunStartEvent,
+    StepEvent,
+    event_from_dict,
+)
+from repro.obs.replay import main as replay_main
+from repro.reliability import (
+    ExponentialBackoff,
+    LostBlocks,
+    ProbabilisticFaults,
+    ReliabilityConfig,
+)
+
+
+B = 8
+LINE = InfiniteGridGraph(1)
+PARAMS = ModelParams(B, 2 * B)
+
+
+def walk(n: int = 200) -> list[tuple[int]]:
+    return [(i,) for i in range(n)]
+
+
+def make_searcher(**kwargs) -> Searcher:
+    return Searcher(
+        LINE, contiguous_1d_blocking(B), FirstBlockPolicy(), PARAMS, **kwargs
+    )
+
+
+def faulty_config(seed: int = 9) -> ReliabilityConfig:
+    return ReliabilityConfig(
+        injector=ProbabilisticFaults(
+            transient_rate=0.25, loss_rate=0.02, seed=seed
+        ),
+        retry=ExponentialBackoff(max_attempts=4, jitter=0.5, seed=seed),
+        step_budget=200_000,
+    )
+
+
+# -- typed events -------------------------------------------------------
+
+
+class TestEvents:
+    EXAMPLES = [
+        RunStartEvent(
+            run=0, driver="path", block_size=8, memory_size=16,
+            model="weak", read_cost=1.0,
+        ),
+        StepEvent(run=0, vertex=(3,)),
+        FaultEvent(run=0, vertex=(8,), gap=7, index=1),
+        BlockReadEvent(
+            run=0, block_id=(1, (0,)), vertex=(8,), size=8,
+            occupancy=16, covered=12,
+        ),
+        RetryEvent(run=0, block_id=(1, (0,)), attempt=2,
+                   outcome="transient", delay=0.25),
+        FallbackEvent(run=0, vertex=(8,), failed_block=(1, (0,)),
+                      block_id=(0, (1,))),
+        EvictionEvent(run=0, block_ids=((0, (0,)), (1, (0,))),
+                      copies=16, occupancy=0),
+        RunEndEvent(run=0, trace=SearchTrace(steps=9).snapshot(), error=None),
+    ]
+
+    @pytest.mark.parametrize(
+        "event", EXAMPLES, ids=lambda e: type(e).__name__
+    )
+    def test_dict_round_trip(self, event):
+        """to_dict -> JSON -> event_from_dict is the identity, tuple
+        identifiers included (JSON turns them into lists)."""
+        wire = json.loads(json.dumps(event.to_dict()))
+        assert event_from_dict(wire) == event
+
+    def test_unknown_kind_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            event_from_dict({"event": "nope"})
+
+
+# -- sinks --------------------------------------------------------------
+
+
+class TestSinks:
+    def test_ring_buffer_keeps_last_capacity(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(10):
+            sink.emit(StepEvent(run=0, vertex=(i,)))
+        assert [e.vertex for e in sink.events] == [(7,), (8,), (9,)]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = [
+            StepEvent(run=0, vertex=(1,)),
+            FaultEvent(run=0, vertex=(2,), gap=1, index=0),
+        ]
+        with JsonlSink(path) as sink:
+            for e in events:
+                sink.emit(e)
+            assert sink.events_written == 2
+        assert list(read_jsonl(path)) == events
+
+    def test_composite_fans_out(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        sink = CompositeSink(a, b)
+        sink.emit(StepEvent(run=0, vertex=(1,)))
+        assert len(a.events) == len(b.events) == 1
+
+    def test_null_sink_accepts_anything(self):
+        NullSink().emit(StepEvent(run=0, vertex=(1,)))
+
+
+# -- metrics ------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_monotone(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc(4)
+        assert reg.snapshot()["x"] == 5
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_histogram_stats(self):
+        reg = MetricsRegistry()
+        for v in (1, 1, 2, 5):
+            reg.histogram("gaps").observe(v)
+        snap = reg.snapshot()["gaps"]
+        assert snap["count"] == 4
+        assert snap["min"] == 1 and snap["max"] == 5
+        assert snap["mean"] == pytest.approx(2.25)
+        assert snap["values"] == {"1": 2, "2": 1, "5": 1}
+
+    def test_labeled_counter_top(self):
+        reg = MetricsRegistry()
+        counter = reg.labeled_counter("reads")
+        for key, n in (("a", 3), ("b", 5), ("c", 1)):
+            counter.inc(key, n)
+        assert counter.top(2) == [("b", 5), ("a", 3)]
+
+    def test_to_json_is_valid(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(2.5)
+        assert json.loads(reg.to_json())["g"] == 2.5
+
+
+# -- the engine under instrumentation -----------------------------------
+
+
+class TestInstrumentedSearch:
+    def test_instrumentation_does_not_change_the_trace(self):
+        """The acceptance criterion: configured instrumentation is
+        invisible to the search itself."""
+        plain = make_searcher().run_path(walk())
+        instr = Instrumentation(sink=RingBufferSink())
+        traced = make_searcher(instrumentation=instr).run_path(walk())
+        assert dataclasses.asdict(plain) == dataclasses.asdict(traced)
+
+    def test_instrumentation_invisible_under_faults(self):
+        def run(instrumentation=None):
+            # s=2 offset blocking: lost blocks fall back to the replica
+            # instead of killing the run.
+            return Searcher(
+                LINE, offset_1d_blocking(B), FirstBlockPolicy(),
+                ModelParams(B, 2 * B), reliability=faulty_config(),
+                instrumentation=instrumentation,
+            ).run_adversary(RandomWalkAdversary(LINE, (0,), seed=5), 500)
+
+        plain = run()
+        traced = run(Instrumentation(sink=RingBufferSink()))
+        assert dataclasses.asdict(plain) == dataclasses.asdict(traced)
+
+    def test_jsonl_replay_reconstructs_exactly(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        instr = Instrumentation(sink=JsonlSink(path))
+        trace = make_searcher(instrumentation=instr).run_path(walk())
+        instr.close()
+        (run,) = replay_file(path)
+        assert verify_run(run) == []
+        assert run.trace == trace
+        assert run.driver == "path"
+        assert run.complete
+
+    def test_replay_exact_under_faults_and_fallbacks(self, tmp_path):
+        """Retries, backoff delays, and replica fallbacks all
+        reconstruct — io_time to the last bit."""
+        path = tmp_path / "trace.jsonl"
+        instr = Instrumentation(sink=JsonlSink(path))
+        searcher = Searcher(
+            LINE, offset_1d_blocking(B), FirstBlockPolicy(), ModelParams(B, 2 * B),
+            reliability=faulty_config(), instrumentation=instr,
+        )
+        trace = searcher.run_adversary(
+            RandomWalkAdversary(LINE, (0,), seed=5), 2000
+        )
+        instr.close()
+        assert trace.retries > 0 and trace.fallback_reads > 0  # not a tame run
+        (run,) = replay_file(path)
+        assert verify_run(run) == []
+        assert run.trace == trace
+        assert run.trace.io_time == trace.io_time
+
+    def test_metrics_match_trace_counters(self):
+        metrics = MetricsRegistry()
+        instr = Instrumentation(metrics=metrics)
+        trace = Searcher(
+            LINE, offset_1d_blocking(B), FirstBlockPolicy(), ModelParams(B, 2 * B),
+            reliability=faulty_config(), instrumentation=instr,
+        ).run_adversary(RandomWalkAdversary(LINE, (0,), seed=5), 2000)
+        snap = metrics.snapshot()
+        assert snap["runs"] == 1
+        assert snap["steps"] == trace.steps
+        assert snap["faults"] == trace.faults
+        assert snap["block_reads"] == trace.blocks_read
+        # Instruments appear on first increment, so counters that never
+        # fired (e.g. corrupt_reads under a corruption-free injector)
+        # are simply absent.
+        assert snap["failed_reads"] == trace.failed_reads
+        assert snap["retries"] == trace.retries
+        assert snap.get("corrupt_reads", 0) == trace.corrupt_reads
+        assert snap.get("fallback_reads", 0) == trace.fallback_reads
+        assert snap["fault_gap"]["count"] == len(trace.fault_gaps)
+        assert sum(snap["reads_per_block"].values()) == trace.blocks_read
+
+    def test_eviction_churn_counted(self):
+        metrics = MetricsRegistry()
+        instr = Instrumentation(metrics=metrics)
+        make_searcher(instrumentation=instr).run_path(walk(400))
+        snap = metrics.snapshot()
+        # A 400-vertex line through M = 2B = 16 must evict repeatedly.
+        assert snap["evictions"] > 10
+        assert snap["evicted_copies"] >= snap["evictions"] * B
+
+    def test_errored_run_recorded_and_replayable(self, tmp_path):
+        """A lost block with no replica kills the run; the event stream
+        still ends with a run_end carrying the error and the partial
+        trace — and still reconstructs."""
+        path = tmp_path / "trace.jsonl"
+        blocking = contiguous_1d_blocking(B)
+        (doomed,) = blocking.blocks_for((20,))
+        instr = Instrumentation(sink=JsonlSink(path))
+        searcher = Searcher(
+            LINE, blocking, FirstBlockPolicy(), PARAMS,
+            reliability=ReliabilityConfig(injector=LostBlocks([doomed])),
+            instrumentation=instr,
+        )
+        with pytest.raises(BlockReadError):
+            searcher.run_path(walk())
+        instr.close()
+        (run,) = replay_file(path)
+        assert run.error is not None and "BlockReadError" in run.error
+        assert run.complete  # run_end was still emitted, error attached
+        assert "ERROR" in run.describe()
+        assert verify_run(run) == []
+
+    def test_legacy_on_fault_still_fires(self):
+        events = []
+        trace = make_searcher(
+            on_fault=lambda v, bid, t: events.append((v, bid))
+        ).run_path(walk())
+        assert len(events) == trace.blocks_read
+        assert events[0][0] == (0,)
+
+    def test_legacy_on_fault_composes_with_instrumentation(self):
+        events = []
+        sink = RingBufferSink()
+        trace = make_searcher(
+            on_fault=lambda v, bid, t: events.append(v),
+            instrumentation=Instrumentation(sink=sink),
+        ).run_path(walk())
+        assert len(events) == trace.blocks_read
+        reads = [e for e in sink.events if isinstance(e, BlockReadEvent)]
+        assert len(reads) == trace.blocks_read
+
+    def test_ambient_instrumentation_context(self):
+        sink = RingBufferSink()
+        with use_instrumentation(Instrumentation(sink=sink)):
+            assert current_instrumentation() is not None
+            make_searcher().run_path(walk(50))
+        assert current_instrumentation() is None
+        assert any(isinstance(e, RunEndEvent) for e in sink.events)
+        # Searchers built outside the context are untouched.
+        searcher = make_searcher()
+        assert searcher._instr is None
+
+    def test_run_ids_increment_across_runs(self):
+        sink = RingBufferSink(capacity=100_000)
+        instr = Instrumentation(sink=sink)
+        searcher = make_searcher(instrumentation=instr)
+        searcher.run_path(walk(50))
+        searcher.run_path(walk(50))
+        runs = {e.run for e in sink.events}
+        assert runs == {0, 1}
+
+
+# -- replay & diff tooling ----------------------------------------------
+
+
+class TestReplayTools:
+    def events_for(self, n=200):
+        sink = RingBufferSink(capacity=100_000)
+        instr = Instrumentation(sink=sink)
+        trace = make_searcher(instrumentation=instr).run_path(walk(n))
+        return list(sink.events), trace
+
+    def test_verify_detects_tampering(self):
+        events, _ = self.events_for()
+        end = events[-1]
+        assert isinstance(end, RunEndEvent)
+        tampered = dict(end.trace, faults=end.trace["faults"] + 1)
+        events[-1] = RunEndEvent(run=end.run, trace=tampered, error=None)
+        (run,) = replay_events(events)
+        mismatches = verify_run(run)
+        assert mismatches and any("faults" in m for m in mismatches)
+
+    def test_diff_traces_finds_divergence(self):
+        _, a = self.events_for(200)
+        _, b = self.events_for(210)
+        assert diff_traces(a, a) == []
+        assert any("steps" in d for d in diff_traces(a, b))
+
+    def test_diff_runs_on_identical_streams(self):
+        events, _ = self.events_for()
+        left = replay_events(events)
+        right = replay_events(events)
+        assert diff_runs(left, right) == []
+
+    def test_ascii_renderings(self):
+        _, trace = self.events_for()
+        strip = fault_timeline(trace, width=30)
+        assert len(strip.splitlines()[-1]) == 32  # |...| frame
+        assert "gap" in gap_histogram_ascii(trace)
+
+    def test_cli_check_passes_on_honest_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        instr = Instrumentation(sink=JsonlSink(path))
+        make_searcher(instrumentation=instr).run_path(walk())
+        instr.close()
+        assert replay_main([str(path), "--check", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "reconstruct exactly" in out
+
+    def test_cli_diff_flags_differences(self, tmp_path, capsys):
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for p, n in ((p1, 200), (p2, 210)):
+            instr = Instrumentation(sink=JsonlSink(p))
+            make_searcher(instrumentation=instr).run_path(walk(n))
+            instr.close()
+        assert replay_main([str(p1), "--diff", str(p2)]) == 1
+        assert replay_main([str(p1), "--diff", str(p1)]) == 0
+
+
+# -- covered_count ------------------------------------------------------
+
+
+class TestCoveredCount:
+    def block(self, bid, lo, hi):
+        return Block(bid, frozenset((i,) for i in range(lo, hi)))
+
+    def test_weak_memory_incremental_count(self):
+        memory = WeakMemory(ModelParams(8, 32))
+        memory.load(self.block("a", 0, 8))
+        memory.load(self.block("b", 4, 12))  # overlaps a on 4..7
+        assert memory.covered_count == len(memory.covered_vertices()) == 12
+        memory.evict_block("a")
+        assert memory.covered_count == len(memory.covered_vertices()) == 8
+        memory.evict_block("b")
+        assert memory.covered_count == len(memory.covered_vertices()) == 0
+
+    def test_strong_memory_incremental_count(self):
+        memory = StrongMemory(
+            ModelParams(8, 32, paging_model=PagingModel.STRONG)
+        )
+        memory.load(self.block("a", 0, 8))
+        memory.load(self.block("b", 4, 12))
+        assert memory.covered_count == len(memory.covered_vertices()) == 12
+        memory.evict_oldest(8)  # drops all of a's copies
+        assert memory.covered_count == len(memory.covered_vertices())
+        memory.evict_all()
+        assert memory.covered_count == 0
+
+    def test_memory_view_exposes_the_incremental_count(self):
+        from repro.core.engine import MemoryView
+
+        memory = WeakMemory(ModelParams(8, 32))
+        view = MemoryView(memory, SearchTrace())
+        memory.load(self.block("a", 0, 8))
+        assert view.covered_count == 8 == len(memory.covered_vertices())
+
+
+# -- profiling ----------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestProfiling:
+    def test_phases_accumulate(self):
+        clock = FakeClock()
+        profiler = PhaseProfiler(clock=clock)
+        for dt in (1.0, 2.0):
+            with profiler.phase("cell"):
+                clock.t += dt
+        stats = profiler["cell"]
+        assert stats.count == 2
+        assert stats.seconds == pytest.approx(3.0)
+        assert stats.mean_s == pytest.approx(1.5)
+        report = profiler.report()
+        assert report["total_s"] == pytest.approx(3.0)
+        assert report["phases"][0]["phase"] == "cell"
+
+    def test_phase_records_on_exception(self):
+        clock = FakeClock()
+        profiler = PhaseProfiler(clock=clock)
+        with pytest.raises(RuntimeError):
+            with profiler.phase("boom"):
+                clock.t += 1.0
+                raise RuntimeError
+        assert profiler["boom"].seconds == pytest.approx(1.0)
+
+    def test_sweep_progress_lines(self):
+        clock = FakeClock()
+        lines = []
+        progress = SweepProgress(emit=lines.append, clock=clock)
+        clock.t = 10.0
+        progress(1, 4, "tree")
+        progress(4, 4, "ballcover")
+        assert lines[0] == "[1/4] tree  elapsed 10.0s  eta 30.0s"
+        assert lines[1].endswith("eta done")
+
+    def test_bench_rollup_and_write(self, tmp_path):
+        class Stats:
+            rounds, min, mean, max = 2, 0.5, 0.6, 0.7
+
+        class Meta:
+            name = "test_demo"
+            fullname = "benchmarks/bench_demo.py::test_demo"
+            stats = Stats()
+            extra_info = {"rows": [{"sigma": 8.0}]}
+
+        payload = bench_rollup("demo", [Meta()])
+        assert payload["tests"] == 1
+        assert payload["total_s"] == pytest.approx(1.2)
+        (timing,) = payload["timings"]
+        assert timing["mean_s"] == pytest.approx(0.6)
+        assert timing["counters"]["rows"][0]["sigma"] == 8.0
+        out = write_bench_json("demo", payload, root=tmp_path)
+        assert out == tmp_path / "BENCH_demo.json"
+        assert json.loads(out.read_text())["bench"] == "demo"
