@@ -31,7 +31,9 @@ class RandomWalkAdversary(Adversary):
         return self._start
 
     def step(self, pathfront: Vertex, view: MemoryView) -> Vertex:
-        neighbors = list(self._graph.neighbors(pathfront))
+        neighbors = self._graph.neighbors(pathfront)
+        if type(neighbors) is not list:
+            neighbors = list(neighbors)
         if not neighbors:
             raise AdversaryError(f"{pathfront!r} has no neighbors")
         return self._rng.choice(neighbors)

@@ -23,33 +23,56 @@ from __future__ import annotations
 
 from repro.analysis.matching import maximal_matching, maximal_path_packing
 from repro.analysis.neighborhoods import ball
+from repro.cache import cached
 from repro.errors import AnalysisError
 from repro.graphs.base import FiniteGraph
 from repro.graphs.traversal import bfs_distances
 from repro.typing import Vertex
 
 
+def _cover_key(graph: FiniteGraph, *params) -> tuple | None:
+    """Cache key for a cover construction on ``graph``, if it has one.
+
+    Covers are memoized as tuples (insertion order of construction) and
+    copied on return, so callers may mutate their copy freely.
+    """
+    graph_key = graph.cache_key()
+    if graph_key is None:
+        return None
+    return (graph_key, *params)
+
+
 def vertex_cover_2approx(graph: FiniteGraph) -> set[Vertex]:
     """Both endpoints of a maximal matching: a 2-approximate vertex
     cover, hence a BALL COVER(1) by Lemma 14."""
-    cover: set[Vertex] = set()
-    for u, v in maximal_matching(graph):
-        cover.add(u)
-        cover.add(v)
-    if not cover:
-        # Edgeless graph: every vertex must cover itself.
-        cover = set(graph.vertices())
-    return cover
+
+    def build() -> tuple[Vertex, ...]:
+        cover: set[Vertex] = set()
+        order: list[Vertex] = []
+        for u, v in maximal_matching(graph):
+            for w in (u, v):
+                if w not in cover:
+                    cover.add(w)
+                    order.append(w)
+        if not order:
+            # Edgeless graph: every vertex must cover itself.
+            order = list(graph.vertices())
+        return tuple(order)
+
+    return set(cached("ballcover.vc2", _cover_key(graph), build))
 
 
 def ball_cover_matching(graph: FiniteGraph) -> set[Vertex]:
     """Lemma 15: one endpoint per maximal-matching edge solves
     BALL COVER(2) with at most ``floor(n/2)`` centers (``n >= 2``)."""
-    matching = maximal_matching(graph)
-    if not matching:
-        # Single vertex (or edgeless) graph.
-        return set(graph.vertices())
-    return {u for u, _ in matching}
+    def build() -> tuple[Vertex, ...]:
+        matching = maximal_matching(graph)
+        if not matching:
+            # Single vertex (or edgeless) graph.
+            return tuple(graph.vertices())
+        return tuple(u for u, _ in matching)
+
+    return set(cached("ballcover.matching", _cover_key(graph), build))
 
 
 def ball_cover_path_packing(graph: FiniteGraph, j: int) -> set[Vertex]:
@@ -58,15 +81,19 @@ def ball_cover_path_packing(graph: FiniteGraph, j: int) -> set[Vertex]:
     centers (when ``n >= 2j + 1``)."""
     if j < 1:
         raise AnalysisError(f"j must be >= 1, got {j}")
-    packing = maximal_path_packing(graph, 2 * j + 1)
-    if not packing:
-        # No path of 2j+1 vertices exists: the graph has diameter
-        # < 2j+1, so any single vertex covers everything within 3j.
-        first = next(iter(graph.vertices()), None)
-        if first is None:
-            raise AnalysisError("graph has no vertices")
-        return {first}
-    return {path[j] for path in packing}
+
+    def build() -> tuple[Vertex, ...]:
+        packing = maximal_path_packing(graph, 2 * j + 1)
+        if not packing:
+            # No path of 2j+1 vertices exists: the graph has diameter
+            # < 2j+1, so any single vertex covers everything within 3j.
+            first = next(iter(graph.vertices()), None)
+            if first is None:
+                raise AnalysisError("graph has no vertices")
+            return (first,)
+        return tuple(path[j] for path in packing)
+
+    return set(cached("ballcover.pathpack", _cover_key(graph, j), build))
 
 
 def ball_cover_corollary2(graph: FiniteGraph, radius: int) -> set[Vertex]:
@@ -89,16 +116,20 @@ def maximal_ball_packing(graph: FiniteGraph, radius: int) -> list[Vertex]:
     """
     if radius < 0:
         raise AnalysisError(f"radius must be >= 0, got {radius}")
-    occupied: set[Vertex] = set()
-    centers: list[Vertex] = []
-    for v in graph.vertices():
-        if v in occupied:
-            continue
-        candidate_ball = ball(graph, v, radius)
-        if occupied.isdisjoint(candidate_ball):
-            centers.append(v)
-            occupied.update(candidate_ball)
-    return centers
+
+    def build() -> tuple[Vertex, ...]:
+        occupied: set[Vertex] = set()
+        centers: list[Vertex] = []
+        for v in graph.vertices():
+            if v in occupied:
+                continue
+            candidate_ball = ball(graph, v, radius)
+            if occupied.isdisjoint(candidate_ball):
+                centers.append(v)
+                occupied.update(candidate_ball)
+        return tuple(centers)
+
+    return list(cached("ballcover.packing", _cover_key(graph, radius), build))
 
 
 def ball_cover_packing(graph: FiniteGraph, radius: int) -> set[Vertex]:

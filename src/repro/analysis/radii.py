@@ -22,6 +22,7 @@ import random
 from typing import Iterable
 
 from repro.analysis.neighborhoods import ball_volume, compact_neighborhood
+from repro.cache import cached
 from repro.errors import AnalysisError
 from repro.graphs.base import FiniteGraph, Graph
 from repro.typing import Vertex
@@ -30,6 +31,21 @@ from repro.typing import Vertex
 def vertex_radius(graph: Graph, vertex: Vertex, k: int) -> float:
     """The k-radius ``r_v(k)`` of one vertex (exact, via BFS)."""
     return compact_neighborhood(graph, vertex, k).radius
+
+
+def _extremum_key(graph: FiniteGraph, k: int, sample: int | None) -> tuple | None:
+    """Cache key for a graph-level extremum, or ``None`` if uncacheable.
+
+    Exact (unsampled) extrema are pure functions of the graph identity
+    and ``k``; sampled estimates additionally depend on the sampling
+    seed, which callers vary, so they are not memoized.
+    """
+    if sample is not None:
+        return None
+    graph_key = graph.cache_key()
+    if graph_key is None:
+        return None
+    return (graph_key, k)
 
 
 def _resolve_vertices(
@@ -52,40 +68,62 @@ def min_radius(
         sample: evaluate only this many randomly chosen vertices (an
             estimate for large graphs); ``None`` means exact.
         seed: sampling seed.
+
+    Exact values on graphs with a :meth:`cache_key` are memoized in the
+    construction cache (one BFS per vertex is the sweep's dominant
+    analysis cost).
     """
-    values = (vertex_radius(graph, v, k) for v in _resolve_vertices(graph, sample, seed))
-    try:
-        return min(values)
-    except ValueError:
-        raise AnalysisError("graph has no vertices") from None
+
+    def build() -> float:
+        values = (
+            vertex_radius(graph, v, k)
+            for v in _resolve_vertices(graph, sample, seed)
+        )
+        try:
+            return min(values)
+        except ValueError:
+            raise AnalysisError("graph has no vertices") from None
+
+    return cached("radii.min", _extremum_key(graph, k, sample), build)
 
 
 def max_radius(
     graph: FiniteGraph, k: int, sample: int | None = None, seed: int = 0
 ) -> float:
     """``r^+(k)``: the largest k-radius over the graph."""
-    values = (vertex_radius(graph, v, k) for v in _resolve_vertices(graph, sample, seed))
-    try:
-        return max(values)
-    except ValueError:
-        raise AnalysisError("graph has no vertices") from None
+
+    def build() -> float:
+        values = (
+            vertex_radius(graph, v, k)
+            for v in _resolve_vertices(graph, sample, seed)
+        )
+        try:
+            return max(values)
+        except ValueError:
+            raise AnalysisError("graph has no vertices") from None
+
+    return cached("radii.max", _extremum_key(graph, k, sample), build)
 
 
 def radius_extrema(
     graph: FiniteGraph, k: int, sample: int | None = None, seed: int = 0
 ) -> tuple[float, float]:
     """``(r^-(k), r^+(k))`` in one pass."""
-    lo = math.inf
-    hi = -math.inf
-    seen = False
-    for v in _resolve_vertices(graph, sample, seed):
-        r = vertex_radius(graph, v, k)
-        lo = min(lo, r)
-        hi = max(hi, r)
-        seen = True
-    if not seen:
-        raise AnalysisError("graph has no vertices")
-    return lo, hi
+
+    def build() -> tuple[float, float]:
+        lo = math.inf
+        hi = -math.inf
+        seen = False
+        for v in _resolve_vertices(graph, sample, seed):
+            r = vertex_radius(graph, v, k)
+            lo = min(lo, r)
+            hi = max(hi, r)
+            seen = True
+        if not seen:
+            raise AnalysisError("graph has no vertices")
+        return lo, hi
+
+    return cached("radii.extrema", _extremum_key(graph, k, sample), build)
 
 
 def uniformity_ratio(
@@ -109,25 +147,33 @@ def min_ball_volume(
     graph: FiniteGraph, radius: int, sample: int | None = None, seed: int = 0
 ) -> int:
     """``k^-(r)``: the smallest ball volume over the graph."""
-    values = (
-        ball_volume(graph, v, radius)
-        for v in _resolve_vertices(graph, sample, seed)
-    )
-    try:
-        return min(values)
-    except ValueError:
-        raise AnalysisError("graph has no vertices") from None
+
+    def build() -> int:
+        values = (
+            ball_volume(graph, v, radius)
+            for v in _resolve_vertices(graph, sample, seed)
+        )
+        try:
+            return min(values)
+        except ValueError:
+            raise AnalysisError("graph has no vertices") from None
+
+    return cached("ballvol.min", _extremum_key(graph, radius, sample), build)
 
 
 def max_ball_volume(
     graph: FiniteGraph, radius: int, sample: int | None = None, seed: int = 0
 ) -> int:
     """``k^+(r)``: the largest ball volume over the graph."""
-    values = (
-        ball_volume(graph, v, radius)
-        for v in _resolve_vertices(graph, sample, seed)
-    )
-    try:
-        return max(values)
-    except ValueError:
-        raise AnalysisError("graph has no vertices") from None
+
+    def build() -> int:
+        values = (
+            ball_volume(graph, v, radius)
+            for v in _resolve_vertices(graph, sample, seed)
+        )
+        try:
+            return max(values)
+        except ValueError:
+            raise AnalysisError("graph has no vertices") from None
+
+    return cached("ballvol.max", _extremum_key(graph, radius, sample), build)

@@ -30,6 +30,7 @@ from repro.graphs.traversal import (
     depth_first_circuit,
     shortest_path,
 )
+from repro.cache import cached
 from repro.typing import Vertex
 
 
@@ -98,7 +99,22 @@ def build_skeletal_steiner_tree(
     Args:
         graph: the searched graph.
         radius: the packing-ball radius; the proofs use ``r^+(B)``.
+
+    The artifact is a pure function of the graph and radius (every step
+    is deterministic over the graph's vertex order), so graphs with a
+    :meth:`cache_key` get it from the construction cache; the Steiner
+    tour is one of the sweep's most expensive builds.
     """
+    graph_key = graph.cache_key()
+    key = None if graph_key is None else (graph_key, radius)
+    return cached(
+        "steiner.skeleton", key, lambda: _build_skeletal_steiner_tree(graph, radius)
+    )
+
+
+def _build_skeletal_steiner_tree(
+    graph: FiniteGraph, radius: int
+) -> SkeletalSteinerTree:
     centers = maximal_ball_packing(graph, radius)
     if not centers:
         raise AnalysisError("graph has no vertices")

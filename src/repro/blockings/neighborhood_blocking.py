@@ -33,6 +33,7 @@ from repro.analysis.ballcover import (
 )
 from repro.analysis.neighborhoods import compact_neighborhood
 from repro.analysis.radii import min_radius
+from repro.cache import cached
 from repro.core.blocking import Blocking, ExplicitBlocking
 from repro.core.memory import Memory
 from repro.core.policies import BlockChoicePolicy
@@ -94,13 +95,32 @@ class NearestCenterPolicy(BlockChoicePolicy):
         return candidates[0]
 
 
+def _blocking_key(graph: FiniteGraph, block_size: int) -> tuple | None:
+    """Cache key for a blocking construction, or ``None`` (uncached).
+
+    The cached value is the ``(blocking, policy)`` pair: both are
+    read-only during searches (the engine never mutates a blocking,
+    and the nearest-center policy is stateless), so sharing one
+    instance across games is safe — the harness already does exactly
+    that within a cell.
+    """
+    graph_key = graph.cache_key()
+    if graph_key is None:
+        return None
+    return (graph_key, block_size)
+
+
 def lemma13_blocking(
     graph: FiniteGraph, block_size: int
 ) -> tuple[ExplicitBlocking, NearestCenterPolicy]:
     """Lemma 13: one compact B-neighborhood per vertex (``s = B``)."""
-    blocking = compact_neighborhood_blocking(graph, block_size)
-    assignment = {v: v for v in graph.vertices()}
-    return blocking, NearestCenterPolicy(assignment)
+
+    def build() -> tuple[ExplicitBlocking, NearestCenterPolicy]:
+        blocking = compact_neighborhood_blocking(graph, block_size)
+        assignment = {v: v for v in graph.vertices()}
+        return blocking, NearestCenterPolicy(assignment)
+
+    return cached("blocking.lemma13", _blocking_key(graph, block_size), build)
 
 
 def _cover_centers(graph: FiniteGraph, radius: int, method: str) -> set[Vertex]:
@@ -140,8 +160,12 @@ def theorem4_blocking(
 ) -> tuple[ExplicitBlocking, NearestCenterPolicy]:
     """Theorem 4: centers from the Corollary 2 ball cover at radius
     ``floor(r^-(B)/2)``; asymptotic blow-up ``3B/r^-(B)``."""
-    blocking, policy, _ = _reduced_blocking(graph, block_size, "corollary2")
-    return blocking, policy
+
+    def build() -> tuple[ExplicitBlocking, NearestCenterPolicy]:
+        blocking, policy, _ = _reduced_blocking(graph, block_size, "corollary2")
+        return blocking, policy
+
+    return cached("blocking.theorem4", _blocking_key(graph, block_size), build)
 
 
 def theorem6_blocking(
@@ -149,5 +173,9 @@ def theorem6_blocking(
 ) -> tuple[ExplicitBlocking, NearestCenterPolicy]:
     """Theorem 6: centers from the Theorem 5 ball-packing cover;
     blow-up ``<= B / k^-(floor(r^-(B)/4))``."""
-    blocking, policy, _ = _reduced_blocking(graph, block_size, "packing")
-    return blocking, policy
+
+    def build() -> tuple[ExplicitBlocking, NearestCenterPolicy]:
+        blocking, policy, _ = _reduced_blocking(graph, block_size, "packing")
+        return blocking, policy
+
+    return cached("blocking.theorem6", _blocking_key(graph, block_size), build)

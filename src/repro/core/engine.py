@@ -28,7 +28,13 @@ from repro.core.memory import Memory, make_memory
 from repro.core.model import ModelParams
 from repro.core.policies import BlockChoicePolicy
 from repro.core.stats import SearchTrace
-from repro.errors import AdversaryError, BlockReadError, BudgetExceededError, PagingError
+from repro.errors import (
+    AdversaryError,
+    BlockReadError,
+    BudgetExceededError,
+    GraphError,
+    PagingError,
+)
 from repro.graphs.base import Graph
 from repro.obs.context import current_instrumentation
 from repro.obs.instrument import FaultCallback, LegacyOnFaultAdapter, compose
@@ -179,7 +185,13 @@ class Searcher:
     # -- drivers ---------------------------------------------------------
 
     def run_path(self, path: Iterable[Vertex]) -> SearchTrace:
-        """Trace a pre-computed vertex sequence; returns its statistics."""
+        """Trace a pre-computed vertex sequence; returns its statistics.
+
+        Raises :class:`~repro.errors.GraphError` when the path's first
+        vertex is not in the graph (mirroring the adversary driver's
+        start check), so a bogus start fails cleanly instead of
+        surfacing as a confusing policy or blocking error.
+        """
         self.policy.reset()
         self.eviction.reset()
         if self._store is not None:
@@ -226,9 +238,13 @@ class Searcher:
 
     # -- drive loops -------------------------------------------------------
     #
-    # Each driver has one loop; the uninstrumented call (instr=None) runs
-    # it with the emission branches compiled to two dead None-checks per
-    # step — the seed's exact trace mutations, bit-identical results.
+    # Each driver has one loop, tuned as the engine's hot path: every
+    # per-step callable (adversary move, fused memory visit, move check)
+    # is bound to a local before the loop, the covered-vertex fast path
+    # is a single ``memory.visit`` call, and fault servicing lives in
+    # :meth:`_fault` so the loop body stays small. The uninstrumented
+    # call (instr=None) performs the seed's exact trace mutations —
+    # bit-identical results, verified by trace replay.
 
     def _drive_path(
         self,
@@ -239,16 +255,27 @@ class Searcher:
     ) -> SearchTrace:
         steps_since_fault = 0
         previous: Vertex | None = None
+        visit = memory.visit
+        validate = self.validate_moves
+        budgeted = self._step_budget is not None
         for vertex in path:
-            if previous is not None:
-                self._check_move(previous, vertex)
+            if previous is None:
+                if not self.graph.has_vertex(vertex):
+                    raise GraphError(
+                        f"path start vertex {vertex!r} is not in the graph"
+                    )
+            else:
+                if validate:
+                    self._check_move(previous, vertex)
                 trace.steps += 1
                 steps_since_fault += 1
                 if instr is not None:
                     instr.step(vertex)
-            steps_since_fault = self._visit(
-                vertex, memory, trace, steps_since_fault
-            )
+            if budgeted:
+                self._check_budget(trace)
+            if not visit(vertex):
+                self._fault(vertex, memory, trace, steps_since_fault, instr)
+                steps_since_fault = 0
             previous = vertex
         return trace
 
@@ -265,14 +292,23 @@ class Searcher:
         if not self.graph.has_vertex(pathfront):
             raise AdversaryError(f"start vertex {pathfront!r} is not in the graph")
         steps_since_fault = self._visit(pathfront, memory, trace, 0)
+        step = adversary.step
+        visit = memory.visit
+        validate = self.validate_moves
+        budgeted = self._step_budget is not None
         for _ in range(num_steps):
-            nxt = adversary.step(pathfront, view)
-            self._check_move(pathfront, nxt)
+            nxt = step(pathfront, view)
+            if validate:
+                self._check_move(pathfront, nxt)
             trace.steps += 1
             steps_since_fault += 1
             if instr is not None:
                 instr.step(nxt)
-            steps_since_fault = self._visit(nxt, memory, trace, steps_since_fault)
+            if budgeted:
+                self._check_budget(trace)
+            if not visit(nxt):
+                self._fault(nxt, memory, trace, steps_since_fault, instr)
+                steps_since_fault = 0
             pathfront = nxt
         return trace
 
@@ -293,12 +329,23 @@ class Searcher:
         steps-since-last-fault counter."""
         if self._step_budget is not None:
             self._check_budget(trace)
-        if memory.covers(vertex):
-            memory.touch(vertex)
+        if memory.visit(vertex):
             return steps_since_fault
+        self._fault(vertex, memory, trace, steps_since_fault, self._instr)
+        return 0
+
+    def _fault(
+        self,
+        vertex: Vertex,
+        memory: Memory,
+        trace: SearchTrace,
+        steps_since_fault: int,
+        instr: "InstrumentationHook | None",
+    ) -> None:
+        """Service a page fault at ``vertex`` (the cold path: the drive
+        loops call this only when ``memory.visit`` reported a miss)."""
         trace.faults += 1
         trace.fault_gaps.append(steps_since_fault)
-        instr = self._instr
         if instr is not None:
             instr.fault(vertex, steps_since_fault, trace.faults)
         block_id = self.policy.choose(vertex, self.blocking, memory)
@@ -319,7 +366,6 @@ class Searcher:
         memory.touch(vertex)
         if instr is not None:
             instr.block_read(block, vertex, memory, trace)
-        return 0
 
     def _fetch_resilient(
         self, vertex: Vertex, block_id, trace: SearchTrace

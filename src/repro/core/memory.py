@@ -20,7 +20,7 @@ Two flushing disciplines:
 from __future__ import annotations
 
 import abc
-from collections import Counter, deque
+from collections import deque
 
 from repro.core.block import Block
 from repro.core.model import ModelParams, PagingModel
@@ -33,7 +33,11 @@ class Memory(abc.ABC):
 
     def __init__(self, params: ModelParams) -> None:
         self._params = params
-        self._counts: Counter[Vertex] = Counter()
+        # Resident-copy multiplicities. Plain dict, never Counter: the
+        # engine probes coverage every path step, and Counter's
+        # Python-level __missing__/__delitem__ hooks tax exactly that
+        # probe. Invariant: present keys always map to counts >= 1.
+        self._counts: dict[Vertex, int] = {}
         self._occupancy = 0
         self._covered = 0
 
@@ -52,14 +56,14 @@ class Memory(abc.ABC):
 
     def covers(self, vertex: Vertex) -> bool:
         """Whether at least one copy of ``vertex`` is resident."""
-        return self._counts[vertex] > 0
+        return vertex in self._counts
 
     def copies_of(self, vertex: Vertex) -> int:
-        return self._counts[vertex]
+        return self._counts.get(vertex, 0)
 
     def covered_vertices(self) -> set[Vertex]:
         """The set of distinct vertices currently covered."""
-        return {v for v, c in self._counts.items() if c > 0}
+        return set(self._counts)
 
     @property
     def covered_count(self) -> int:
@@ -80,20 +84,42 @@ class Memory(abc.ABC):
     def touch(self, vertex: Vertex) -> None:
         """Record that the pathfront visited a covered vertex."""
 
+    def visit(self, vertex: Vertex) -> bool:
+        """Fused ``covers`` + ``touch``: record the pathfront arriving
+        at ``vertex`` if it is covered, and report whether it was.
+
+        The engine's per-step primitive — subclasses override it to
+        answer with a single index lookup instead of two.
+        """
+        if self.covers(vertex):
+            self.touch(vertex)
+            return True
+        return False
+
     def _add_copies(self, vertices) -> None:
+        counts = self._counts
+        covered = self._covered
         for v in vertices:
-            if self._counts[v] == 0:
-                self._covered += 1
-            self._counts[v] += 1
+            n = counts.get(v)
+            if n is None:
+                counts[v] = 1
+                covered += 1
+            else:
+                counts[v] = n + 1
+        self._covered = covered
         self._occupancy += len(vertices)
 
     def _remove_copies(self, vertices) -> None:
+        counts = self._counts
+        covered = self._covered
         for v in vertices:
-            if self._counts[v] == 1:
-                del self._counts[v]
-                self._covered -= 1
+            n = counts[v]
+            if n == 1:
+                del counts[v]
+                covered -= 1
             else:
-                self._counts[v] -= 1
+                counts[v] = n - 1
+        self._covered = covered
         self._occupancy -= len(vertices)
 
 
@@ -104,10 +130,17 @@ class WeakMemory(Memory):
         super().__init__(params)
         self._resident: dict[BlockId, Block] = {}
         # LRU clock: _recency[bid] is the tick of the block's last use.
+        # The dict is additionally kept in *use order* (every tick
+        # reinserts its key), so LRU order is its iteration order —
+        # no sort is ever needed to find an eviction victim.
         self._recency: dict[BlockId, int] = {}
         self._clock = 0
-        # vertex -> resident block ids containing it, for touch().
-        self._where: dict[Vertex, set[BlockId]] = {}
+        # vertex -> resident block ids containing it, for touch()/visit().
+        # Inner dicts (value None) double as insertion-ordered sets, so
+        # tick order over a vertex's holders is load order — stable
+        # across processes, unlike set iteration, whose hash order made
+        # multi-holder traces depend on PYTHONHASHSEED.
+        self._where: dict[Vertex, dict[BlockId, None]] = {}
 
     def resident_blocks(self) -> tuple[BlockId, ...]:
         return tuple(self._resident)
@@ -127,7 +160,7 @@ class WeakMemory(Memory):
         self._resident[block.block_id] = block
         self._add_copies(block.vertices)
         for v in block.vertices:
-            self._where.setdefault(v, set()).add(block.block_id)
+            self._where.setdefault(v, {})[block.block_id] = None
         self._tick(block.block_id)
 
     def evict_block(self, block_id: BlockId) -> None:
@@ -139,7 +172,7 @@ class WeakMemory(Memory):
         self._remove_copies(block.vertices)
         for v in block.vertices:
             holders = self._where[v]
-            holders.discard(block_id)
+            holders.pop(block_id, None)
             if not holders:
                 del self._where[v]
 
@@ -158,9 +191,36 @@ class WeakMemory(Memory):
         for block_id in self._where.get(vertex, ()):
             self._tick(block_id)
 
+    def visit(self, vertex: Vertex) -> bool:
+        # Hot path: one index lookup answers coverage, and the holders
+        # it yields are exactly the blocks to tick — the engine calls
+        # this once per path step.
+        holders = self._where.get(vertex)
+        if not holders:
+            return False
+        clock = self._clock
+        recency = self._recency
+        pop = recency.pop
+        for block_id in holders:
+            clock += 1
+            pop(block_id, None)
+            recency[block_id] = clock
+        self._clock = clock
+        return True
+
     def lru_order(self) -> list[BlockId]:
-        """Resident block ids, least recently used first."""
-        return sorted(self._resident, key=lambda bid: self._recency[bid])
+        """Resident block ids, least recently used first.
+
+        O(n) copy of the incrementally maintained use order (ticks
+        strictly increase, so insertion order *is* recency order) —
+        the former sort per call is gone.
+        """
+        return list(self._recency)
+
+    def lru_block(self) -> BlockId | None:
+        """The least recently used resident block id, O(1); ``None``
+        when nothing is resident."""
+        return next(iter(self._recency), None)
 
     def resident_block(self, block_id: BlockId) -> Block:
         """The resident block with the given id."""
@@ -183,6 +243,8 @@ class WeakMemory(Memory):
 
     def _tick(self, block_id: BlockId) -> None:
         self._clock += 1
+        # Reinsert to keep the dict's iteration order = use order.
+        self._recency.pop(block_id, None)
         self._recency[block_id] = self._clock
 
 
@@ -226,6 +288,10 @@ class StrongMemory(Memory):
     def touch(self, vertex: Vertex) -> None:
         # Copy-level recency is not tracked; eviction is arrival-ordered.
         pass
+
+    def visit(self, vertex: Vertex) -> bool:
+        # touch() is a no-op here, so a visit is just the coverage test.
+        return vertex in self._counts
 
 
 def make_memory(params: ModelParams) -> Memory:

@@ -92,14 +92,18 @@ class SearchTrace:
         """The worst-case (smallest) number of steps between faults.
 
         The per-fault guarantee the lower-bound proofs establish.
-        Gaps exclude the pre-first-fault prefix when the walk starts on
-        an uncovered vertex (gap 0 at start-up is an artifact, not a
-        property of the blocking), unless it is the only gap.
+        The first gap is excluded only when it is the compulsory
+        start-up fault (gap 0 on an uncovered start vertex — an
+        artifact, not a property of the blocking) and other gaps
+        exist; a genuine first measurement (the walk started covered)
+        counts, mirroring :attr:`steady_speedup`.
         """
         if not self.fault_gaps:
             return self.steps
-        interior = self.fault_gaps[1:] if len(self.fault_gaps) > 1 else self.fault_gaps
-        return min(interior)
+        gaps = self.fault_gaps
+        if gaps[0] == 0 and len(gaps) > 1:
+            gaps = gaps[1:]
+        return min(gaps)
 
     @property
     def mean_gap(self) -> float:

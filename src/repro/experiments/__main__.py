@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments            # full sweep (a few minutes)
     python -m repro.experiments --quick    # shortened traces (~1 minute)
+    python -m repro.experiments --jobs 4   # cells sharded over 4 processes
     python -m repro.experiments --quick --fault-rate 0.05
                                            # same sweep on an unreliable disk
     python -m repro.experiments --quick --trace-out trace.jsonl --metrics
@@ -25,6 +26,16 @@ Observability flags (see ``repro.obs``):
 * ``--metrics`` prints the aggregated metrics registry as JSON.
 * ``--progress`` prints one line per sweep cell with elapsed time/ETA.
 * ``--profile`` prints per-cell wall-clock timings as JSON.
+
+Performance flags:
+
+* ``--jobs N`` shards the sweep's cells over ``N`` worker processes
+  (results are bit-identical to serial; incompatible with the
+  per-process observability flags above).
+* ``--no-cache`` disables the construction cache (every graph,
+  blocking, and radius is rebuilt from scratch).
+* ``--cache-dir PATH`` persists cached constructions to disk so
+  repeated sweeps skip the expensive builds.
 """
 
 from __future__ import annotations
@@ -92,9 +103,45 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print per-cell wall-clock timings as JSON",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run sweep cells in N worker processes (default 1 = serial; "
+        "results are identical either way)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the construction cache (rebuild every graph/blocking)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="persist cached constructions (graphs, blockings, radii) "
+        "to this directory across runs",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.fault_rate <= 1.0:
         parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.jobs > 1 and (args.trace_out or args.metrics or args.profile):
+        parser.error(
+            "--jobs > 1 cannot be combined with --trace-out, --metrics, or "
+            "--profile: those hooks are ambient per process (run them "
+            "serially, or drop --jobs)"
+        )
+    if args.no_cache and args.cache_dir:
+        parser.error("--no-cache and --cache-dir are mutually exclusive")
+    if args.no_cache or args.cache_dir:
+        from repro.cache import configure_cache
+
+        configure_cache(
+            enabled=not args.no_cache,
+            disk_dir=args.cache_dir,
+        )
 
     if args.figures:
         from repro.experiments.figures import all_figures
@@ -150,12 +197,22 @@ def main(argv: list[str] | None = None) -> int:
         progress = SweepProgress()
 
     with ambient:
-        games, checks = run_all(
-            quick=args.quick,
-            reliability=reliability,
-            profiler=profiler,
-            progress=progress,
-        )
+        if args.jobs > 1:
+            from repro.experiments.parallel import run_all_parallel
+
+            games, checks = run_all_parallel(
+                quick=args.quick,
+                jobs=args.jobs,
+                reliability=reliability,
+                progress=progress,
+            )
+        else:
+            games, checks = run_all(
+                quick=args.quick,
+                reliability=reliability,
+                profiler=profiler,
+                progress=progress,
+            )
     if instr is not None:
         instr.close()
         if args.trace_out:

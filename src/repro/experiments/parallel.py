@@ -1,0 +1,139 @@
+"""Parallel sweep execution: the Table 1 cells across worker processes.
+
+Every cell of the sweep is independent — it builds its own graph,
+blocking, and adversary, and the engine's runs are deterministic (a
+pure function of the cell's parameters and seeds, independent of the
+process they run in; the recency index and holder sets are kept in
+insertion order precisely so hash randomization cannot leak in). That
+makes the sweep embarrassingly parallel: shard the
+:func:`~repro.experiments.table1.cell_specs` list over a process pool,
+run each cell with the same :func:`~repro.experiments.table1.run_cell`
+the serial path uses, and concatenate the outputs in spec order. The
+merged result is **bit-identical** to ``run_all`` — the CI benchmark
+job asserts exactly that by byte-comparing the two JSON dumps.
+
+Degraded cells stay degraded: a cell that dies on a
+:class:`~repro.errors.ReproError` (an unreadable block under fault
+injection, an impossible construction) produces the same errored
+:class:`~repro.experiments.harness.ExperimentResult` in a worker as it
+does inline, and its siblings are untouched.
+
+Workers are forked where the platform allows it, so constructions
+already in the parent's cache (:mod:`repro.cache`) are inherited for
+free. Tracing/metrics hooks are ambient per process and cannot span a
+pool — the CLI rejects ``--jobs`` combined with ``--trace-out``,
+``--metrics``, or ``--profile``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.harness import CheckResult, ExperimentResult
+from repro.experiments.table1 import CellSpec, cell_specs, run_cell
+from repro.reliability import ReliabilityConfig
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork if available (cheap, inherits caches and the hash seed);
+    otherwise the platform default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+def run_all_parallel(
+    quick: bool = False,
+    jobs: int = 2,
+    reliability: ReliabilityConfig | None = None,
+    progress: "Callable[[int, int, str], None] | None" = None,
+    names: Sequence[str] | None = None,
+) -> tuple[list[ExperimentResult], list[CheckResult]]:
+    """Run the Table 1 sweep with cells sharded over ``jobs`` processes.
+
+    Same signature contract as :func:`~repro.experiments.table1.run_all`
+    (minus the profiler, which is ambient per process): the returned
+    ``(games, checks)`` lists are identical to a serial run — cells are
+    dispatched eagerly but merged in spec order, and each cell's
+    results are self-contained. ``names`` restricts the sweep to a
+    subset of cells (mostly for tests).
+
+    ``jobs <= 1`` degenerates to an in-process loop over the same
+    specs, so callers can wire a ``--jobs`` flag straight through.
+    """
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    specs = cell_specs(quick=quick, reliability=reliability, names=names)
+    total = len(specs)
+    outputs: list[list[ExperimentResult] | list[CheckResult]]
+    if jobs == 1 or total <= 1:
+        outputs = []
+        for done, spec in enumerate(specs, start=1):
+            outputs.append(run_cell(spec))
+            if progress is not None:
+                progress(done, total, spec.name)
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(jobs, total)) as pool:
+            outputs = []
+            # Ordered imap: results arrive (and report progress) in
+            # spec order while cells execute out of order in the pool.
+            for done, out in enumerate(
+                pool.imap(run_cell, specs, chunksize=1), start=1
+            ):
+                outputs.append(out)
+                if progress is not None:
+                    progress(done, total, specs[done - 1].name)
+    games: list[ExperimentResult] = []
+    checks: list[CheckResult] = []
+    for spec, out in zip(specs, outputs):
+        if spec.kind == "game":
+            games += out  # type: ignore[arg-type]
+        else:
+            checks += out  # type: ignore[arg-type]
+    return games, checks
+
+
+def _apply_kwargs(call: tuple[Callable[..., Any], Mapping[str, Any]]) -> Any:
+    func, kwargs = call
+    return func(**kwargs)
+
+
+def map_rows(
+    func: Callable[..., Any],
+    kwargs_grid: Sequence[Mapping[str, Any]],
+    jobs: int = 1,
+) -> list[Any]:
+    """Map a row function over a parameter grid, optionally in parallel.
+
+    This is the sweep-grid counterpart of :func:`run_all_parallel`:
+    ``func`` must be a module-level (hence picklable) callable — the
+    Table 1 row functions and the sweep workers qualify — and each
+    mapping in ``kwargs_grid`` is one call's keyword arguments.
+    Results come back in grid order regardless of completion order, so
+    ``jobs > 1`` returns exactly what the serial loop would.
+    """
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    calls = [(func, kwargs) for kwargs in kwargs_grid]
+    if jobs == 1 or len(calls) <= 1:
+        return [_apply_kwargs(call) for call in calls]
+    ctx = _pool_context()
+    with ctx.Pool(processes=min(jobs, len(calls))) as pool:
+        return pool.map(_apply_kwargs, calls, chunksize=1)
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default: the machine's CPU count."""
+    return multiprocessing.cpu_count()
+
+
+__all__ = [
+    "CellSpec",
+    "default_jobs",
+    "map_rows",
+    "run_all_parallel",
+]

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.parallel import map_rows
 from repro.experiments.table1 import (
     grid1d_row,
     grid2d_rows,
@@ -66,16 +67,24 @@ def tree_sigma_vs_lgB(
     block_sizes: Sequence[int] = (63, 255, 1023, 4095),
     arity: int = 2,
     num_steps: int = 6_000,
+    jobs: int = 1,
 ) -> SweepSeries:
-    """sigma of the Lemma 17 blocking vs lg B — the tree law."""
+    """sigma of the Lemma 17 blocking vs lg B — the tree law.
+
+    ``jobs > 1`` shards the grid points over worker processes; the
+    series is identical to the serial one (see
+    :func:`repro.experiments.parallel.map_rows`).
+    """
     series = SweepSeries("tree Lemma 17 blocking", "lg B")
+    grid = []
     for B in block_sizes:
         levels = int(math.log2(B + 1))
         height = max(30 * levels, 120)  # tall enough for Theorem 7's bound
-        (row, *_rest) = tree_row(
-            block_size=B, arity=arity, height=height, num_steps=num_steps
+        grid.append(
+            dict(block_size=B, arity=arity, height=height, num_steps=num_steps)
         )
-        series.append(math.log2(B), row)
+    for B, rows in zip(block_sizes, map_rows(tree_row, grid, jobs=jobs)):
+        series.append(math.log2(B), rows[0])
     return series
 
 
@@ -83,19 +92,27 @@ def grid_sigma_vs_B(
     dim: int,
     block_sizes: Sequence[int] = (16, 64, 256),
     num_steps: int = 8_000,
+    jobs: int = 1,
 ) -> SweepSeries:
     """sigma of the s=2 offset blocking vs B^(1/d) — the grid law."""
     series = SweepSeries(f"{dim}-D grid offset s=2 blocking", "B^(1/d)")
-    for B in block_sizes:
-        if dim == 1:
-            rows = grid1d_row(block_size=B, num_steps=num_steps)
-            row = next(r for r in rows if r.params["s"] == 1)
-        elif dim == 2:
-            rows = grid2d_rows(block_size=B, num_steps=num_steps)
-            row = next(r for r in rows if r.params["s"] == 2)
-        else:
-            (row,) = gridd_rows(dim=dim, block_size=B, num_steps=num_steps)
-        series.append(B ** (1.0 / dim), row)
+    if dim == 1:
+        func, pick = grid1d_row, lambda rows: next(
+            r for r in rows if r.params["s"] == 1
+        )
+        grid = [dict(block_size=B, num_steps=num_steps) for B in block_sizes]
+    elif dim == 2:
+        func, pick = grid2d_rows, lambda rows: next(
+            r for r in rows if r.params["s"] == 2
+        )
+        grid = [dict(block_size=B, num_steps=num_steps) for B in block_sizes]
+    else:
+        func, pick = gridd_rows, lambda rows: rows[0]
+        grid = [
+            dict(dim=dim, block_size=B, num_steps=num_steps) for B in block_sizes
+        ]
+    for B, rows in zip(block_sizes, map_rows(func, grid, jobs=jobs)):
+        series.append(B ** (1.0 / dim), pick(rows))
     return series
 
 
@@ -117,26 +134,19 @@ def isothetic_gap_vs_dimension(
     return out
 
 
-def sigma_vs_failure_rate(
-    rates: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.2),
-    s_values: Sequence[int] = (1, 2, 4),
-    block_size: int = 64,
-    num_steps: int = 4_000,
-    seed: int = 17,
-    retry_attempts: int = 3,
-) -> dict[int, SweepSeries]:
-    """The reliability axis the paper never measured: blocking speed-up
-    under an unreliable disk, per storage blow-up.
+def _failure_rate_cell(
+    s: int,
+    rate: float,
+    block_size: int,
+    num_steps: int,
+    seed: int,
+    retry_attempts: int,
+) -> ExperimentResult:
+    """One (blow-up, failure-rate) point of the reliability sweep.
 
-    For each ``s`` in ``s_values`` the 2-D grid blocking with ``s``
-    mutually offset tessellations plays a seeded random walk while
-    every block read fails transiently *or is permanently lost* at the
-    given rate (split 3:1 transient:loss). Lost blocks exercise replica
-    fallback: with ``s = 1`` a lost block on the walk kills the run (a
-    degraded cell, ``sigma = nan``), while ``s >= 2`` keeps searching
-    from the surviving copies — redundancy bought by the blow-up.
-
-    Returns one series per ``s``, indexed by failure rate.
+    Module-level — and rebuilding every construction from its
+    parameters — so :func:`repro.experiments.parallel.map_rows` can
+    ship it to a worker process.
     """
     from repro.adversaries import RandomWalkAdversary
     from repro.blockings import (
@@ -155,42 +165,83 @@ def sigma_vs_failure_rate(
     )
 
     graph = InfiniteGridGraph(2)
+    if s == 1:
+        blocking = uniform_grid_blocking(2, block_size)
+        policy = FirstBlockPolicy()
+    else:
+        blocking = offset_grid_blocking(2, block_size, copies=s)
+        policy = FarthestFaultPolicy(graph)
+    reliability = ReliabilityConfig(
+        injector=ProbabilisticFaults(
+            transient_rate=0.75 * rate,
+            loss_rate=0.25 * rate,
+            seed=seed,
+        ),
+        retry=ExponentialBackoff(
+            max_attempts=retry_attempts, jitter=0.5, seed=seed
+        ),
+        step_budget=20 * num_steps,
+    )
+    return run_game(
+        "REL",
+        f"2-D grid s={s} blocking, failure rate {rate:.2f}",
+        graph,
+        blocking,
+        policy,
+        ModelParams(block_size, 4 * block_size),
+        RandomWalkAdversary(graph, (0, 0), seed=seed),
+        num_steps,
+        params={"B": block_size, "s": s, "failure_rate": rate},
+        reliability=reliability,
+    )
+
+
+def sigma_vs_failure_rate(
+    rates: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.2),
+    s_values: Sequence[int] = (1, 2, 4),
+    block_size: int = 64,
+    num_steps: int = 4_000,
+    seed: int = 17,
+    retry_attempts: int = 3,
+    jobs: int = 1,
+) -> dict[int, SweepSeries]:
+    """The reliability axis the paper never measured: blocking speed-up
+    under an unreliable disk, per storage blow-up.
+
+    For each ``s`` in ``s_values`` the 2-D grid blocking with ``s``
+    mutually offset tessellations plays a seeded random walk while
+    every block read fails transiently *or is permanently lost* at the
+    given rate (split 3:1 transient:loss). Lost blocks exercise replica
+    fallback: with ``s = 1`` a lost block on the walk kills the run (a
+    degraded cell, ``sigma = nan``), while ``s >= 2`` keeps searching
+    from the surviving copies — redundancy bought by the blow-up.
+
+    Returns one series per ``s``, indexed by failure rate. ``jobs > 1``
+    shards the (s, rate) grid over worker processes; every cell is
+    seeded independently, so the series are identical to a serial run.
+    """
+    grid = [
+        dict(
+            s=s,
+            rate=rate,
+            block_size=block_size,
+            num_steps=num_steps,
+            seed=seed,
+            retry_attempts=retry_attempts,
+        )
+        for s in s_values
+        for rate in rates
+    ]
+    results = map_rows(_failure_rate_cell, grid, jobs=jobs)
     out: dict[int, SweepSeries] = {}
+    index = 0
     for s in s_values:
-        if s == 1:
-            blocking = uniform_grid_blocking(2, block_size)
-            policy = FirstBlockPolicy()
-        else:
-            blocking = offset_grid_blocking(2, block_size, copies=s)
-            policy = FarthestFaultPolicy(graph)
         series = SweepSeries(
             f"2-D grid s={s} blocking vs failure rate", "failure rate"
         )
         for rate in rates:
-            reliability = ReliabilityConfig(
-                injector=ProbabilisticFaults(
-                    transient_rate=0.75 * rate,
-                    loss_rate=0.25 * rate,
-                    seed=seed,
-                ),
-                retry=ExponentialBackoff(
-                    max_attempts=retry_attempts, jitter=0.5, seed=seed
-                ),
-                step_budget=20 * num_steps,
-            )
-            result = run_game(
-                "REL",
-                f"2-D grid s={s} blocking, failure rate {rate:.2f}",
-                graph,
-                blocking,
-                policy,
-                ModelParams(block_size, 4 * block_size),
-                RandomWalkAdversary(graph, (0, 0), seed=seed),
-                num_steps,
-                params={"B": block_size, "s": s, "failure_rate": rate},
-                reliability=reliability,
-            )
-            series.append(rate, result)
+            series.append(rate, results[index])
+            index += 1
         out[s] = series
     return out
 

@@ -13,6 +13,8 @@ Experiment ids match DESIGN.md: ``T1-R1`` .. ``T1-R10``, ``K-LB``,
 
 from __future__ import annotations
 
+import dataclasses
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
 if TYPE_CHECKING:
@@ -904,6 +906,126 @@ def ballcover_checks(seed: int = 11) -> list[CheckResult]:
 # Everything.
 # ---------------------------------------------------------------------------
 
+# The named cells of the sweep, in report order. Registries of plain
+# module-level functions (not lambdas) keep every cell *picklable*, so
+# the parallel runner (repro.experiments.parallel) can ship the same
+# cells to worker processes that run_all executes inline.
+_GAME_CELL_FUNCS: dict[str, Callable[..., list[ExperimentResult]]] = {
+    "tree": tree_row,
+    "grid1d": grid1d_row,
+    "grid1d-finite": grid1d_finite_row,
+    "grid2d": grid2d_rows,
+    "gridd": gridd_rows,
+    "gridd-reduced": gridd_reduced_rows,
+    "isothetic": isothetic_rows,
+    "redundancy-gap": redundancy_gap_rows,
+    "diagonal": diagonal_row,
+    "general": general_rows,
+    "geometric": geometric_rows,
+    "pathological": pathological_rows,
+    "nonuniform": nonuniform_row,
+}
+
+_CHECK_CELL_FUNCS: dict[str, Callable[..., list[CheckResult]]] = {
+    "example1": example1_checks,
+    "example2": example2_checks,
+    "ballcover": ballcover_checks,
+}
+
+# Cells whose traces are capped below the full-sweep step count.
+_STEP_CAPS: dict[str, int] = {
+    "grid1d-finite": 6_000,
+    "gridd-reduced": 6_000,
+    "redundancy-gap": 6_000,
+    "general": 8_000,
+    "geometric": 6_000,
+    "pathological": 2_000,
+    "nonuniform": 4_000,
+}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One runnable cell of the Table 1 sweep, as picklable data.
+
+    ``func`` names an entry in the cell registries (never a callable),
+    and ``kwargs`` holds only picklable values, so a spec can cross a
+    process boundary and produce the same cell the serial path runs.
+    """
+
+    name: str
+    kind: str  # "game" or "check"
+    func: str
+    kwargs: dict = dataclasses.field(default_factory=dict)
+
+
+def cell_specs(
+    quick: bool = False,
+    reliability: ReliabilityConfig | None = None,
+    names: Sequence[str] | None = None,
+) -> list[CellSpec]:
+    """The sweep's cells in report order (the serial and parallel
+    runners both execute exactly this list).
+
+    ``names`` restricts to a subset of cells, preserving order —
+    unknown names raise :class:`ReproError`.
+    """
+    steps = 2_000 if quick else 15_000
+    specs: list[CellSpec] = []
+    for name in _GAME_CELL_FUNCS:
+        num_steps = min(steps, _STEP_CAPS.get(name, steps))
+        specs.append(
+            CellSpec(
+                name,
+                "game",
+                name,
+                {"num_steps": num_steps, "reliability": reliability},
+            )
+        )
+    for name in _CHECK_CELL_FUNCS:
+        specs.append(CellSpec(name, "check", name, {}))
+    if names is not None:
+        known = {spec.name for spec in specs}
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            raise ReproError(
+                f"unknown sweep cell(s) {unknown!r}; known: {sorted(known)}"
+            )
+        wanted = set(names)
+        specs = [spec for spec in specs if spec.name in wanted]
+    return specs
+
+
+def run_cell(spec: CellSpec) -> list[ExperimentResult] | list[CheckResult]:
+    """Execute one cell. This is the single execution path shared by
+    the serial sweep and the parallel runner's workers.
+
+    A :class:`ReproError` escaping a *game* cell (e.g. a construction
+    that cannot survive the configured fault injection) degrades into a
+    single errored :class:`ExperimentResult` instead of killing the
+    sweep — sibling cells are unaffected, and serial and parallel runs
+    degrade identically. Check cells have no error column, so their
+    failures propagate in both.
+    """
+    if spec.kind == "game":
+        func = _GAME_CELL_FUNCS[spec.func]
+    elif spec.kind == "check":
+        func = _CHECK_CELL_FUNCS[spec.func]
+    else:
+        raise ReproError(f"unknown cell kind {spec.kind!r}")
+    try:
+        return func(**spec.kwargs)
+    except ReproError as exc:
+        if spec.kind != "game":
+            raise
+        return [
+            ExperimentResult(
+                experiment=f"cell:{spec.name}",
+                description=f"cell {spec.name!r} failed to run",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        ]
+
 
 def run_all(
     quick: bool = False,
@@ -921,86 +1043,24 @@ def run_all(
     ``progress`` is called as ``progress(done, total, label)`` after
     every cell — :class:`repro.obs.SweepProgress` prints these with
     elapsed time and an ETA.
+
+    For multi-process execution of the same cells see
+    :func:`repro.experiments.parallel.run_all_parallel`.
     """
-    steps = 2_000 if quick else 15_000
-    game_cells: list[tuple[str, Callable[[], list[ExperimentResult]]]] = [
-        ("tree", lambda: tree_row(num_steps=steps, reliability=reliability)),
-        ("grid1d", lambda: grid1d_row(num_steps=steps, reliability=reliability)),
-        (
-            "grid1d-finite",
-            lambda: grid1d_finite_row(
-                num_steps=min(steps, 6_000), reliability=reliability
-            ),
-        ),
-        ("grid2d", lambda: grid2d_rows(num_steps=steps, reliability=reliability)),
-        ("gridd", lambda: gridd_rows(num_steps=steps, reliability=reliability)),
-        (
-            "gridd-reduced",
-            lambda: gridd_reduced_rows(
-                num_steps=min(steps, 6_000), reliability=reliability
-            ),
-        ),
-        (
-            "isothetic",
-            lambda: isothetic_rows(num_steps=steps, reliability=reliability),
-        ),
-        (
-            "redundancy-gap",
-            lambda: redundancy_gap_rows(
-                num_steps=min(steps, 6_000), reliability=reliability
-            ),
-        ),
-        ("diagonal", lambda: diagonal_row(num_steps=steps, reliability=reliability)),
-        (
-            "general",
-            lambda: general_rows(
-                num_steps=min(steps, 8_000), reliability=reliability
-            ),
-        ),
-        (
-            "geometric",
-            lambda: geometric_rows(
-                num_steps=min(steps, 6_000), reliability=reliability
-            ),
-        ),
-        (
-            "pathological",
-            lambda: pathological_rows(
-                num_steps=min(steps, 2_000), reliability=reliability
-            ),
-        ),
-        (
-            "nonuniform",
-            lambda: nonuniform_row(
-                num_steps=min(steps, 4_000), reliability=reliability
-            ),
-        ),
-    ]
-    check_cells: list[tuple[str, Callable[[], list[CheckResult]]]] = [
-        ("example1", example1_checks),
-        ("example2", example2_checks),
-        ("ballcover", ballcover_checks),
-    ]
-    total = len(game_cells) + len(check_cells)
-    done = 0
+    specs = cell_specs(quick=quick, reliability=reliability)
+    total = len(specs)
     games: list[ExperimentResult] = []
     checks: list[CheckResult] = []
-    for name, cell in game_cells:
+    for done, spec in enumerate(specs, start=1):
         if profiler is not None:
-            with profiler.phase(f"table1.{name}"):
-                games += cell()
+            with profiler.phase(f"table1.{spec.name}"):
+                out = run_cell(spec)
         else:
-            games += cell()
-        done += 1
-        if progress is not None:
-            progress(done, total, name)
-    for name, cell in check_cells:
-        if profiler is not None:
-            with profiler.phase(f"table1.{name}"):
-                checks += cell()
+            out = run_cell(spec)
+        if spec.kind == "game":
+            games += out
         else:
-            checks += cell()
-        done += 1
+            checks += out
         if progress is not None:
-            progress(done, total, name)
+            progress(done, total, spec.name)
     return games, checks

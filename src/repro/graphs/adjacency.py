@@ -25,6 +25,10 @@ class AdjacencyGraph(FiniteGraph):
 
     def __init__(self, vertices: Iterable[Vertex] = ()) -> None:
         self._adj: dict[Vertex, set[Vertex]] = {}
+        # Set by the deterministic generators (repro.graphs.generators)
+        # after they finish building; any later mutation clears it, so
+        # a tagged graph is always exactly the generator's product.
+        self._cache_key: tuple | None = None
         for v in vertices:
             self.add_vertex(v)
 
@@ -57,12 +61,14 @@ class AdjacencyGraph(FiniteGraph):
 
     def add_vertex(self, vertex: Vertex) -> None:
         """Add an isolated vertex (no-op if already present)."""
+        self._cache_key = None
         self._adj.setdefault(vertex, set())
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
         if u == v:
             raise GraphError(f"self-loop on {u!r} is not allowed")
+        self._cache_key = None
         self._adj.setdefault(u, set()).add(v)
         self._adj.setdefault(v, set()).add(u)
 
@@ -94,6 +100,19 @@ class AdjacencyGraph(FiniteGraph):
 
     def num_edges(self) -> int:
         return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def cache_key(self) -> tuple | None:
+        """The generator tag, or ``None`` once the graph was mutated."""
+        return self._cache_key
+
+    def tag_cache_key(self, key: tuple) -> "AdjacencyGraph":
+        """Declare this graph a deterministic function of ``key``.
+
+        Called by the generators as the last construction step; returns
+        the graph for chaining.
+        """
+        self._cache_key = key
+        return self
 
     def __repr__(self) -> str:
         return f"AdjacencyGraph(n={len(self)}, m={self.num_edges()})"

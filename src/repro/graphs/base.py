@@ -53,6 +53,19 @@ class Graph(abc.ABC):
             return False
         return v in self.neighbors(u)
 
+    def cache_key(self) -> tuple | None:
+        """A hashable identity for the construction cache, or ``None``.
+
+        Non-``None`` promises that two graphs with equal keys are
+        *identical* (same vertices, edges, and orderings), so any
+        deterministic derived construction — radii, ball covers,
+        blockings — may be memoized under this key plus its own
+        parameters (see :mod:`repro.cache`). Graphs whose content is
+        not determined by constructor parameters (e.g. a hand-built
+        adjacency graph) return ``None`` and are never cached.
+        """
+        return None
+
 
 class FiniteGraph(Graph):
     """A graph whose vertex set can be enumerated."""

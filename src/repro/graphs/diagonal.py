@@ -69,6 +69,9 @@ class InfiniteDiagonalGridGraph(Graph):
                 f"{vertex!r} is not a {self._dim}-dimensional integer coordinate"
             )
 
+    def cache_key(self) -> tuple:
+        return ("infinite-diagonal-grid", self._dim)
+
     def __repr__(self) -> str:
         return f"InfiniteDiagonalGridGraph(dim={self._dim})"
 
@@ -125,6 +128,9 @@ class DiagonalGridGraph(FiniteGraph):
     def _check(self, vertex: Vertex) -> None:
         if not self.has_vertex(vertex):
             raise GraphError(f"{vertex!r} is not inside the grid {self._shape}")
+
+    def cache_key(self) -> tuple:
+        return ("diagonal-grid", self._shape)
 
     def __repr__(self) -> str:
         return f"DiagonalGridGraph(shape={self._shape})"

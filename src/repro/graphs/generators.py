@@ -38,7 +38,7 @@ def complete_graph(n: int) -> AdjacencyGraph:
     for u in range(n):
         for v in range(u + 1, n):
             graph.add_edge(u, v)
-    return graph
+    return graph.tag_cache_key(("complete", n))
 
 
 def star_graph(leaves: int) -> AdjacencyGraph:
@@ -48,7 +48,7 @@ def star_graph(leaves: int) -> AdjacencyGraph:
     graph = AdjacencyGraph()
     for leaf in range(1, leaves + 1):
         graph.add_edge(0, leaf)
-    return graph
+    return graph.tag_cache_key(("star", leaves))
 
 
 def path_graph(n: int) -> AdjacencyGraph:
@@ -58,7 +58,7 @@ def path_graph(n: int) -> AdjacencyGraph:
     graph = AdjacencyGraph(range(n))
     for i in range(n - 1):
         graph.add_edge(i, i + 1)
-    return graph
+    return graph.tag_cache_key(("path", n))
 
 
 def cycle_graph(n: int) -> AdjacencyGraph:
@@ -67,7 +67,7 @@ def cycle_graph(n: int) -> AdjacencyGraph:
         raise GraphError(f"a cycle needs n >= 3, got {n}")
     graph = path_graph(n)
     graph.add_edge(n - 1, 0)
-    return graph
+    return graph.tag_cache_key(("cycle", n))
 
 
 def torus_graph(shape: Sequence[int]) -> AdjacencyGraph:
@@ -87,7 +87,7 @@ def torus_graph(shape: Sequence[int]) -> AdjacencyGraph:
                 coord[:axis] + ((coord[axis] + 1) % extent,) + coord[axis + 1 :]
             )
             graph.add_edge(coord, neighbor)
-    return graph
+    return graph.tag_cache_key(("torus", extents))
 
 
 def lollipop_graph(clique_size: int, path_length: int) -> AdjacencyGraph:
@@ -107,7 +107,7 @@ def lollipop_graph(clique_size: int, path_length: int) -> AdjacencyGraph:
     for i in range(clique_size, clique_size + path_length):
         graph.add_edge(previous, i)
         previous = i
-    return graph
+    return graph.tag_cache_key(("lollipop", clique_size, path_length))
 
 
 def random_regular_graph(n: int, degree: int, seed: int) -> AdjacencyGraph:
@@ -140,7 +140,7 @@ def random_regular_graph(n: int, degree: int, seed: int) -> AdjacencyGraph:
         from repro.graphs.traversal import is_connected
 
         if is_connected(graph):
-            return graph
+            return graph.tag_cache_key(("random-regular", n, degree, seed))
     raise GraphError(
         f"failed to sample a connected {degree}-regular graph on {n} vertices"
     )
@@ -151,9 +151,10 @@ def random_tree(n: int, seed: int) -> AdjacencyGraph:
     if n < 1:
         raise GraphError(f"n must be >= 1, got {n}")
     if n == 1:
-        return AdjacencyGraph([0])
+        return AdjacencyGraph([0]).tag_cache_key(("random-tree", n, seed))
     if n == 2:
-        return AdjacencyGraph.from_edges([(0, 1)])
+        graph = AdjacencyGraph.from_edges([(0, 1)])
+        return graph.tag_cache_key(("random-tree", n, seed))
     rng = random.Random(seed)
     pruefer = [rng.randrange(n) for _ in range(n - 2)]
     degree = [1] * n
@@ -173,7 +174,7 @@ def random_tree(n: int, seed: int) -> AdjacencyGraph:
     u = heapq.heappop(leaves)
     v = heapq.heappop(leaves)
     graph.add_edge(u, v)
-    return graph
+    return graph.tag_cache_key(("random-tree", n, seed))
 
 
 def hypercube_graph(dim: int) -> AdjacencyGraph:
@@ -185,7 +186,7 @@ def hypercube_graph(dim: int) -> AdjacencyGraph:
         for axis in range(dim):
             neighbor = coord[:axis] + (1 - coord[axis],) + coord[axis + 1 :]
             graph.add_edge(coord, neighbor)
-    return graph
+    return graph.tag_cache_key(("hypercube", dim))
 
 
 def random_geometric_graph(
@@ -217,7 +218,7 @@ def random_geometric_graph(
                 graph.add_edge(i, j)
     if connect:
         _connect_components(graph, points)
-    return graph
+    return graph.tag_cache_key(("random-geometric", n, radius, seed, connect))
 
 
 def _connect_components(graph: AdjacencyGraph, points) -> None:

@@ -21,19 +21,38 @@ from repro.graphs.base import FiniteGraph, Graph
 from repro.typing import Coord, Vertex
 
 
-def _axis_moves(coord: Coord) -> Iterator[Coord]:
-    """All lattice points at L1-distance 1 from ``coord``."""
-    for i in range(len(coord)):
-        for delta in (-1, 1):
-            yield coord[:i] + (coord[i] + delta,) + coord[i + 1 :]
+def _axis_moves(coord: Coord) -> list[Coord]:
+    """All lattice points at L1-distance 1 from ``coord``, ordered by
+    axis then by -1/+1 delta.
+
+    Hot path (every adversary move materializes a neighbor list):
+    the 1-D and 2-D cases — the bulk of the experiments — are built
+    literally, higher dimensions with one slice pair per axis. The
+    ordering is part of the contract: seeded adversaries index into it.
+    """
+    if len(coord) == 2:
+        x, y = coord
+        return [(x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)]
+    if len(coord) == 1:
+        (x,) = coord
+        return [(x - 1,), (x + 1,)]
+    moves = []
+    append = moves.append
+    for i, c in enumerate(coord):
+        prefix = coord[:i]
+        suffix = coord[i + 1:]
+        append(prefix + (c - 1,) + suffix)
+        append(prefix + (c + 1,) + suffix)
+    return moves
 
 
 def _is_coord(vertex: Vertex, dim: int) -> bool:
-    return (
-        isinstance(vertex, tuple)
-        and len(vertex) == dim
-        and all(isinstance(c, int) for c in vertex)
-    )
+    if not isinstance(vertex, tuple) or len(vertex) != dim:
+        return False
+    for c in vertex:
+        if not isinstance(c, int):
+            return False
+    return True
 
 
 class InfiniteGridGraph(Graph):
@@ -50,7 +69,7 @@ class InfiniteGridGraph(Graph):
 
     def neighbors(self, vertex: Vertex) -> list[Coord]:
         self._check(vertex)
-        return list(_axis_moves(vertex))
+        return _axis_moves(vertex)
 
     def has_vertex(self, vertex: Vertex) -> bool:
         return _is_coord(vertex, self._dim)
@@ -70,6 +89,9 @@ class InfiniteGridGraph(Graph):
             raise GraphError(
                 f"{vertex!r} is not a {self._dim}-dimensional integer coordinate"
             )
+
+    def cache_key(self) -> tuple:
+        return ("infinite-grid", self._dim)
 
     def __repr__(self) -> str:
         return f"InfiniteGridGraph(dim={self._dim})"
@@ -126,6 +148,9 @@ class GridGraph(FiniteGraph):
     def _check(self, vertex: Vertex) -> None:
         if not self.has_vertex(vertex):
             raise GraphError(f"{vertex!r} is not inside the grid {self._shape}")
+
+    def cache_key(self) -> tuple:
+        return ("grid", self._shape)
 
     def __repr__(self) -> str:
         return f"GridGraph(shape={self._shape})"

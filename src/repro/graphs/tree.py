@@ -170,6 +170,9 @@ class CompleteTree(FiniteGraph):
     def __len__(self) -> int:
         return self._size
 
+    def cache_key(self) -> tuple:
+        return ("complete-tree", self._arity, self._height)
+
     def __repr__(self) -> str:
         return f"CompleteTree(arity={self._arity}, height={self._height}, n={self._size})"
 

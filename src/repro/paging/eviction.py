@@ -70,16 +70,14 @@ class LruEviction(EvictionPolicy):
     def make_room(self, memory: Memory, incoming: Block) -> None:
         if not isinstance(memory, WeakMemory):
             raise PagingError("LruEviction requires the weak (block-granular) model")
-        order = None
-        while not memory.room_for(len(incoming)):
-            if order is None:
-                order = memory.lru_order()
-            if not order:
+        size = len(incoming)
+        while not memory.room_for(size):
+            victim = memory.lru_block()
+            if victim is None:
                 raise PagingError(
-                    f"block of {len(incoming)} copies cannot fit in "
-                    f"M={memory.capacity}"
+                    f"block of {size} copies cannot fit in M={memory.capacity}"
                 )
-            memory.evict_block(order.pop(0))
+            memory.evict_block(victim)
 
 
 class FifoCopiesEviction(EvictionPolicy):

@@ -1,0 +1,179 @@
+"""Construction cache: LRU bounds, disk spill, and graph cache keys."""
+
+import pytest
+
+from repro import cache as cache_module
+from repro.analysis import radii
+from repro.cache import ConstructionCache, cached, configure_cache, get_cache
+from repro.graphs import (
+    CompleteTree,
+    GridGraph,
+    InfiniteGridGraph,
+    path_graph,
+    torus_graph,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Isolate every test behind its own global cache configuration."""
+    old = cache_module._config
+    cache_module._config = cache_module._CacheConfig()
+    yield
+    cache_module._config = old
+
+
+class TestConstructionCache:
+    def test_miss_builds_then_hits(self):
+        cache = ConstructionCache(maxsize=4)
+        calls = []
+        build = lambda: calls.append(1) or "value"
+        assert cache.get_or_build("k", (1,), build) == "value"
+        assert cache.get_or_build("k", (1,), build) == "value"
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_distinct_kinds_do_not_collide(self):
+        cache = ConstructionCache(maxsize=4)
+        assert cache.get_or_build("a", (1,), lambda: "A") == "A"
+        assert cache.get_or_build("b", (1,), lambda: "B") == "B"
+
+    def test_lru_eviction_drops_least_recently_used(self):
+        cache = ConstructionCache(maxsize=2)
+        cache.get_or_build("k", "a", lambda: 1)
+        cache.get_or_build("k", "b", lambda: 2)
+        cache.get_or_build("k", "a", lambda: 1)  # refresh a
+        cache.get_or_build("k", "c", lambda: 3)  # evicts b
+        assert cache.stats.evictions == 1
+        assert ("k", "b") not in cache
+        assert ("k", "a") in cache
+        assert ("k", "c") in cache
+
+    def test_clear_empties_memory(self):
+        cache = ConstructionCache(maxsize=4)
+        cache.get_or_build("k", (1,), lambda: "x")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConstructionCache(maxsize=0)
+
+    def test_disk_roundtrip(self, tmp_path):
+        first = ConstructionCache(maxsize=4, disk_dir=str(tmp_path))
+        first.get_or_build("k", (1, 2), lambda: {"deep": [1, 2, 3]})
+        assert first.stats.disk_writes == 1
+        # A fresh cache (fresh process, conceptually) finds it on disk.
+        second = ConstructionCache(maxsize=4, disk_dir=str(tmp_path))
+        value = second.get_or_build(
+            "k", (1, 2), lambda: pytest.fail("should not rebuild")
+        )
+        assert value == {"deep": [1, 2, 3]}
+        assert second.stats.disk_hits == 1
+
+    def test_corrupt_disk_entry_rebuilds(self, tmp_path):
+        cache = ConstructionCache(maxsize=4, disk_dir=str(tmp_path))
+        path = cache._disk_path(("k", (7,)))
+        import os
+
+        os.makedirs(tmp_path, exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        assert cache.get_or_build("k", (7,), lambda: "rebuilt") == "rebuilt"
+
+
+class TestGlobalCache:
+    def test_cached_uses_global_cache(self):
+        assert cached("t", ("x",), lambda: 41) == 41
+        assert cached("t", ("x",), lambda: pytest.fail("rebuild")) == 41
+        assert get_cache().stats.hits == 1
+
+    def test_none_key_bypasses(self):
+        calls = []
+        for _ in range(2):
+            cached("t", None, lambda: calls.append(1))
+        assert len(calls) == 2
+        assert len(get_cache()) == 0
+
+    def test_disabled_bypasses(self):
+        configure_cache(enabled=False)
+        calls = []
+        for _ in range(2):
+            cached("t", ("x",), lambda: calls.append(1))
+        assert len(calls) == 2
+        configure_cache(enabled=True)
+        cached("t", ("x",), lambda: calls.append(1))
+        assert len(calls) == 3  # first enabled call still builds
+
+    def test_configure_replaces_instance(self):
+        before = get_cache()
+        after = configure_cache(maxsize=7)
+        assert after is get_cache()
+        assert after is not before
+        assert after.maxsize == 7
+
+
+class TestGraphCacheKeys:
+    def test_implicit_graphs_have_keys(self):
+        assert InfiniteGridGraph(2).cache_key() == ("infinite-grid", 2)
+        assert GridGraph((3, 4)).cache_key() == ("grid", (3, 4))
+        assert CompleteTree(2, 5).cache_key() == ("complete-tree", 2, 5)
+
+    def test_generators_tag_keys(self):
+        assert path_graph(10).cache_key() == ("path", 10)
+        assert torus_graph((3, 3)).cache_key() == ("torus", (3, 3))
+
+    def test_mutation_clears_generator_key(self):
+        graph = path_graph(10)
+        graph.add_edge(0, 5)
+        assert graph.cache_key() is None
+
+    def test_hand_built_graph_has_no_key(self):
+        from repro.graphs.adjacency import AdjacencyGraph
+
+        graph = AdjacencyGraph.from_edges([(0, 1), (1, 2)])
+        assert graph.cache_key() is None
+
+
+class TestRadiiCaching:
+    def test_min_radius_memoized_and_unchanged(self):
+        graph = path_graph(30)
+        uncached_value = None
+        configure_cache(enabled=False)
+        uncached_value = radii.min_radius(graph, 5)
+        configure_cache(enabled=True)
+        assert radii.min_radius(graph, 5) == uncached_value
+        hits_before = get_cache().stats.hits
+        assert radii.min_radius(graph, 5) == uncached_value
+        assert get_cache().stats.hits == hits_before + 1
+
+    def test_sampled_extrema_not_memoized(self):
+        graph = path_graph(30)
+        radii.min_radius(graph, 5, sample=10, seed=1)
+        assert all(kind != "radii.min" for kind, _ in get_cache().keys())
+
+    def test_mutated_graph_not_memoized(self):
+        graph = path_graph(30)
+        graph.add_edge(0, 29)
+        radii.min_radius(graph, 5)
+        assert len(get_cache()) == 0
+
+
+class TestBlockingCaching:
+    def test_lemma13_blocking_is_shared(self):
+        from repro.blockings import lemma13_blocking
+
+        graph = path_graph(40)
+        first = lemma13_blocking(graph, 4)
+        second = lemma13_blocking(graph, 4)
+        assert first[0] is second[0]
+        assert lemma13_blocking(graph, 8)[0] is not first[0]
+
+    def test_steiner_skeleton_cached(self):
+        from repro.analysis.steiner import build_skeletal_steiner_tree
+
+        graph = torus_graph((4, 4))
+        first = build_skeletal_steiner_tree(graph, 2)
+        second = build_skeletal_steiner_tree(graph, 2)
+        assert first is second

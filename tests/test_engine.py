@@ -6,6 +6,7 @@ from repro import (
     AdversaryError,
     ExplicitBlocking,
     FirstBlockPolicy,
+    GraphError,
     ModelParams,
     PagingError,
     Searcher,
@@ -91,6 +92,30 @@ class TestRunPath:
             validate_moves=False,
         )
         assert trace.steps == 1
+
+    def test_path_start_must_be_in_graph(self):
+        graph = path_graph(20)
+        blocking = path_blocking(20, 5)
+        with pytest.raises(GraphError, match=r"start vertex 99 is not in the graph"):
+            simulate_path(
+                graph, blocking, FirstBlockPolicy(), ModelParams(5, 10), [99, 98]
+            )
+
+    def test_path_start_checked_even_without_move_validation(self):
+        # Move validation is optional; the start-vertex check is not —
+        # an unknown start would otherwise surface as an opaque fault
+        # deep in the paging layer.
+        graph = path_graph(20)
+        blocking = path_blocking(20, 5)
+        with pytest.raises(GraphError, match=r"start vertex 'x'"):
+            simulate_path(
+                graph,
+                blocking,
+                FirstBlockPolicy(),
+                ModelParams(5, 10),
+                ["x"],
+                validate_moves=False,
+            )
 
     def test_empty_path(self):
         graph = path_graph(20)

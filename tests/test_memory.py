@@ -84,6 +84,34 @@ class TestWeakMemory:
         assert mem.is_resident("a")
         assert not mem.is_resident("b")
 
+    def test_visit_is_covers_plus_touch(self):
+        mem = self.make(M=12)
+        mem.load(block("a", {1}))
+        mem.load(block("b", {2}))
+        assert mem.visit(1)  # covered: refreshes a's recency
+        assert mem.lru_order() == ["b", "a"]
+        assert not mem.visit(42)  # uncovered: no recency change
+        assert mem.lru_order() == ["b", "a"]
+
+    def test_visit_ticks_every_holder(self):
+        mem = self.make(M=12)
+        mem.load(block("a", {1, 2}))
+        mem.load(block("b", {2}))
+        mem.load(block("c", {3}))
+        clock = mem.clock
+        assert mem.visit(2)  # held by a and b: both tick
+        assert mem.clock == clock + 2
+        assert mem.lru_order() == ["c", "a", "b"]
+
+    def test_lru_block_is_order_head(self):
+        mem = self.make(M=12)
+        assert mem.lru_block() is None
+        mem.load(block("a", {1}))
+        mem.load(block("b", {2}))
+        assert mem.lru_block() == "a"
+        mem.visit(1)
+        assert mem.lru_block() == "b"
+
 
 class TestStrongMemory:
     def make(self, B=4, M=8) -> StrongMemory:
@@ -129,6 +157,15 @@ class TestStrongMemory:
         mem.load(block("a", {1, 2, 3}))
         with pytest.raises(PagingError):
             mem.load(block("b", {4, 5}))
+
+    def test_visit_is_coverage_only(self):
+        # Copy-level recency is untracked, so visit is just the test.
+        mem = self.make()
+        mem.load(block("a", {1, 2}))
+        assert mem.visit(1)
+        assert not mem.visit(42)
+        mem.evict_all()
+        assert not mem.visit(1)
 
 
 class TestMakeMemory:

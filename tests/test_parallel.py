@@ -1,0 +1,143 @@
+"""Parallel sweep runner: spec plumbing, serial/parallel equality, and
+error degradation across process boundaries.
+
+The heavyweight equality checks run on a small subset of cells
+(``SUBSET``) so the suite stays fast; the CI benchmark job does the
+full-sweep byte-comparison.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    CellSpec,
+    cell_specs,
+    dump_results,
+    map_rows,
+    run_all_parallel,
+    run_cell,
+    tree_row,
+)
+from repro.reliability import (
+    ExponentialBackoff,
+    ProbabilisticFaults,
+    ReliabilityConfig,
+)
+
+SUBSET = ["grid1d", "pathological", "example2"]
+
+
+class TestCellSpecs:
+    def test_specs_cover_games_then_checks(self):
+        specs = cell_specs(quick=True)
+        kinds = [spec.kind for spec in specs]
+        assert kinds == ["game"] * 13 + ["check"] * 3
+
+    def test_quick_caps_steps(self):
+        by_name = {s.name: s for s in cell_specs(quick=True)}
+        assert by_name["tree"].kwargs["num_steps"] == 2_000
+        assert by_name["pathological"].kwargs["num_steps"] == 2_000
+        full = {s.name: s for s in cell_specs(quick=False)}
+        assert full["tree"].kwargs["num_steps"] == 15_000
+        assert full["pathological"].kwargs["num_steps"] == 2_000
+
+    def test_names_filter_preserves_order(self):
+        specs = cell_specs(quick=True, names=["example2", "grid1d"])
+        assert [s.name for s in specs] == ["grid1d", "example2"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ReproError, match="no-such-cell"):
+            cell_specs(quick=True, names=["no-such-cell"])
+
+    def test_spec_pickles(self):
+        spec = cell_specs(quick=True, names=["tree"])[0]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert run_cell(clone)[0].experiment == "T1-R1"
+
+
+def _dump_bytes(tmp_path, tag, games, checks):
+    path = tmp_path / f"{tag}.json"
+    dump_results(str(path), games, checks)
+    return path.read_bytes()
+
+
+class TestRunAllParallel:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ReproError, match="jobs"):
+            run_all_parallel(quick=True, jobs=0)
+
+    def test_parallel_matches_serial_on_subset(self, tmp_path):
+        serial = run_all_parallel(quick=True, jobs=1, names=SUBSET)
+        parallel = run_all_parallel(quick=True, jobs=2, names=SUBSET)
+        assert _dump_bytes(tmp_path, "serial", *serial) == _dump_bytes(
+            tmp_path, "parallel", *parallel
+        )
+
+    def test_progress_reports_in_spec_order(self):
+        seen = []
+        run_all_parallel(
+            quick=True,
+            jobs=2,
+            names=SUBSET,
+            progress=lambda done, total, name: seen.append((done, total, name)),
+        )
+        assert seen == [(1, 3, "grid1d"), (2, 3, "pathological"), (3, 3, "example2")]
+
+
+class TestErrorDegradation:
+    """A cell that dies under fault injection degrades to an errored
+    result without poisoning siblings — identically on both paths."""
+
+    @pytest.fixture(scope="class")
+    def lossy(self):
+        # Every block read is permanently lost: game cells cannot
+        # complete a single run and must degrade.
+        return ReliabilityConfig(
+            injector=ProbabilisticFaults(
+                transient_rate=0.0, loss_rate=1.0, seed=0
+            ),
+            retry=ExponentialBackoff(max_attempts=2, jitter=0.5, seed=0),
+            step_budget=100_000,
+        )
+
+    def test_parallel_degrades_like_serial(self, lossy):
+        serial_games, serial_checks = run_all_parallel(
+            quick=True, jobs=1, names=SUBSET, reliability=lossy
+        )
+        par_games, par_checks = run_all_parallel(
+            quick=True, jobs=2, names=SUBSET, reliability=lossy
+        )
+        assert [g.error for g in serial_games] == [g.error for g in par_games]
+        assert all(g.error for g in serial_games)
+        # The check cell is unaffected by its siblings' failures.
+        assert len(par_checks) == len(serial_checks) > 0
+        assert all(c.holds for c in par_checks)
+
+    def test_degraded_cell_names_its_error(self, lossy):
+        results = run_cell(
+            cell_specs(quick=True, names=["grid1d"], reliability=lossy)[0]
+        )
+        assert results
+        for result in results:
+            assert result.error
+            assert result.error.split(":")[0].endswith("Error")
+
+
+class TestMapRows:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ReproError, match="jobs"):
+            map_rows(tree_row, [], jobs=0)
+
+    def test_parallel_map_matches_serial(self):
+        grid = [
+            dict(block_size=63, arity=2, height=120, num_steps=500),
+            dict(block_size=255, arity=2, height=160, num_steps=500),
+        ]
+        serial = map_rows(tree_row, grid, jobs=1)
+        parallel = map_rows(tree_row, grid, jobs=2)
+        for srows, prows in zip(serial, parallel):
+            for s, p in zip(srows, prows):
+                assert (s.sigma, s.faults, s.steps) == (p.sigma, p.faults, p.steps)

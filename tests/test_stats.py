@@ -35,6 +35,18 @@ class TestGaps:
         trace = SearchTrace(steps=20, faults=1, fault_gaps=[3])
         assert trace.min_gap == 3
 
+    def test_min_gap_keeps_genuine_first_gap(self):
+        # Regression: a walk that starts on a covered vertex records a
+        # real measurement first; when that first gap is the smallest,
+        # it must not be discounted as a start-up artifact.
+        trace = SearchTrace(steps=20, faults=3, fault_gaps=[2, 7, 9])
+        assert trace.min_gap == 2
+
+    def test_min_gap_zero_only_discounted_at_start(self):
+        # A zero gap after the first fault is a genuine worst case.
+        trace = SearchTrace(steps=20, faults=3, fault_gaps=[0, 5, 0])
+        assert trace.min_gap == 0
+
     def test_min_gap_no_faults_is_steps(self):
         assert SearchTrace(steps=9).min_gap == 9
 
