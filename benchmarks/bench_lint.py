@@ -1,0 +1,39 @@
+"""Linter self-benchmark: full-tree run, per-rule counts, runtime.
+
+The conftest machinery rolls this into ``BENCH_lint.json`` at the repo
+root, so the lint trajectory (files scanned, findings per rule, engine
+runtime) is tracked alongside the reproduction's performance numbers.
+The assertions double as the repo-hygiene gate: the tree must lint
+clean against its committed baseline.
+"""
+
+from pathlib import Path
+
+from repro.lint import Baseline, LintEngine, all_rules, load_config
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_lint_full_tree(benchmark):
+    config = load_config(REPO)
+    engine = LintEngine(config)
+    report = benchmark.pedantic(
+        engine.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+
+    assert report.parse_errors == []
+    assert report.files_scanned > 50  # the whole src/repro tree
+
+    # New findings (beyond the committed baseline) fail the bench.
+    baseline = Baseline.load(REPO / config.baseline_path)
+    new, hidden = baseline.filter(report.findings)
+    assert new == [], [f.render() for f in new]
+
+    counts = report.counts_by_rule
+    benchmark.extra_info["files_scanned"] = report.files_scanned
+    benchmark.extra_info["findings"] = len(report.findings)
+    benchmark.extra_info["baselined"] = hidden
+    benchmark.extra_info["suppressed"] = report.suppressed
+    benchmark.extra_info["by_rule"] = {
+        rule.id: counts.get(rule.id, 0) for rule in all_rules()
+    }

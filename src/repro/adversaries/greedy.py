@@ -10,8 +10,8 @@ pathfront, so this adversary caps any blocking at ``sigma <= r^+(M)``
 
 from __future__ import annotations
 
+from repro.adversaries._order import first_neighbor
 from repro.core.engine import Adversary, MemoryView
-from repro.errors import AdversaryError
 from repro.graphs.base import Graph
 from repro.graphs.traversal import nearest_matching
 from repro.typing import Vertex
@@ -57,9 +57,8 @@ class GreedyUncoveredAdversary(Adversary):
             )
             if path is None or len(path) < 2:
                 # Everything in reach is covered (or we stand on the
-                # only uncovered vertex): stall by pacing to a neighbor.
-                for neighbor in self._graph.neighbors(pathfront):
-                    return neighbor
-                raise AdversaryError(f"{pathfront!r} has no neighbors")
+                # only uncovered vertex): stall by pacing to the
+                # canonical first neighbor (deterministic tie-break).
+                return first_neighbor(self._graph, pathfront)
             self._plan = path[1:]
         return self._plan.pop(0)

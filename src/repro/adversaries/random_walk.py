@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 
+from repro.adversaries._order import canonical_neighbors
 from repro.core.engine import Adversary, MemoryView
 from repro.errors import AdversaryError
 from repro.graphs.base import Graph
@@ -31,9 +32,9 @@ class RandomWalkAdversary(Adversary):
         return self._start
 
     def step(self, pathfront: Vertex, view: MemoryView) -> Vertex:
-        neighbors = self._graph.neighbors(pathfront)
-        if type(neighbors) is not list:
-            neighbors = list(neighbors)
+        # Canonical order so the same seed draws the same walk under
+        # any PYTHONHASHSEED, even for set-returning graphs.
+        neighbors = canonical_neighbors(self._graph, pathfront)
         if not neighbors:
             raise AdversaryError(f"{pathfront!r} has no neighbors")
         return self._rng.choice(neighbors)

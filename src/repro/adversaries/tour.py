@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+from repro.adversaries._order import first_neighbor
 from repro.analysis.steiner import SkeletalSteinerTree, build_skeletal_steiner_tree
 from repro.core.engine import Adversary, MemoryView
 from repro.errors import AdversaryError
@@ -106,10 +107,9 @@ class SteinerTourAdversary(Adversary):
         if not self._plan:
             target = self._next_must_visit(view)
             if target is None or target == pathfront:
-                # Everything is covered: pace along the circuit root.
-                for neighbor in self._graph.neighbors(pathfront):
-                    return neighbor
-                raise AdversaryError(f"{pathfront!r} has no neighbors")
+                # Everything is covered: pace to the canonical first
+                # neighbor (deterministic tie-break).
+                return first_neighbor(self._graph, pathfront)
             self._plan = shortest_path(self._graph, pathfront, target)[1:]
         return self._plan.pop(0)
 

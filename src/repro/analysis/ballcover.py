@@ -21,6 +21,8 @@ greedy (baseline)      BALL COVER(r)           no guarantee
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.analysis.matching import maximal_matching, maximal_path_packing
 from repro.analysis.neighborhoods import ball
 from repro.cache import cached
@@ -42,7 +44,7 @@ def _cover_key(graph: FiniteGraph, *params) -> tuple | None:
     return (graph_key, *params)
 
 
-def vertex_cover_2approx(graph: FiniteGraph) -> set[Vertex]:
+def vertex_cover_2approx(graph: FiniteGraph) -> list[Vertex]:
     """Both endpoints of a maximal matching: a 2-approximate vertex
     cover, hence a BALL COVER(1) by Lemma 14."""
 
@@ -59,10 +61,10 @@ def vertex_cover_2approx(graph: FiniteGraph) -> set[Vertex]:
             order = list(graph.vertices())
         return tuple(order)
 
-    return set(cached("ballcover.vc2", _cover_key(graph), build))
+    return list(cached("ballcover.vc2", _cover_key(graph), build))
 
 
-def ball_cover_matching(graph: FiniteGraph) -> set[Vertex]:
+def ball_cover_matching(graph: FiniteGraph) -> list[Vertex]:
     """Lemma 15: one endpoint per maximal-matching edge solves
     BALL COVER(2) with at most ``floor(n/2)`` centers (``n >= 2``)."""
     def build() -> tuple[Vertex, ...]:
@@ -72,10 +74,10 @@ def ball_cover_matching(graph: FiniteGraph) -> set[Vertex]:
             return tuple(graph.vertices())
         return tuple(u for u, _ in matching)
 
-    return set(cached("ballcover.matching", _cover_key(graph), build))
+    return list(cached("ballcover.matching", _cover_key(graph), build))
 
 
-def ball_cover_path_packing(graph: FiniteGraph, j: int) -> set[Vertex]:
+def ball_cover_path_packing(graph: FiniteGraph, j: int) -> list[Vertex]:
     """Theorem 3: centers of a maximal packing of paths on ``2j + 1``
     vertices solve BALL COVER(3j) with at most ``floor(n/(2j+1))``
     centers (when ``n >= 2j + 1``)."""
@@ -93,10 +95,10 @@ def ball_cover_path_packing(graph: FiniteGraph, j: int) -> set[Vertex]:
             return (first,)
         return tuple(path[j] for path in packing)
 
-    return set(cached("ballcover.pathpack", _cover_key(graph, j), build))
+    return list(cached("ballcover.pathpack", _cover_key(graph, j), build))
 
 
-def ball_cover_corollary2(graph: FiniteGraph, radius: int) -> set[Vertex]:
+def ball_cover_corollary2(graph: FiniteGraph, radius: int) -> list[Vertex]:
     """Corollary 2: BALL COVER(r) with ``<= n/(2*floor(r/3)+1)``
     centers, via Theorem 3 at ``j = floor(r/3)``.
 
@@ -132,16 +134,16 @@ def maximal_ball_packing(graph: FiniteGraph, radius: int) -> list[Vertex]:
     return list(cached("ballcover.packing", _cover_key(graph, radius), build))
 
 
-def ball_cover_packing(graph: FiniteGraph, radius: int) -> set[Vertex]:
+def ball_cover_packing(graph: FiniteGraph, radius: int) -> list[Vertex]:
     """Theorem 5: centers of a maximal packing of balls of radius
     ``floor(r/2)`` solve BALL COVER(r), with cardinality at most
     ``n / k^-(floor(r/2))``."""
     if radius < 0:
         raise AnalysisError(f"radius must be >= 0, got {radius}")
-    return set(maximal_ball_packing(graph, radius // 2))
+    return list(maximal_ball_packing(graph, radius // 2))
 
 
-def ball_cover_greedy(graph: FiniteGraph, radius: int) -> set[Vertex]:
+def ball_cover_greedy(graph: FiniteGraph, radius: int) -> list[Vertex]:
     """Greedy set-cover baseline: repeatedly pick the vertex whose ball
     covers the most still-uncovered vertices.
 
@@ -152,44 +154,50 @@ def ball_cover_greedy(graph: FiniteGraph, radius: int) -> set[Vertex]:
         raise AnalysisError(f"radius must be >= 0, got {radius}")
     uncovered = set(graph.vertices())
     balls = {v: set(ball(graph, v, radius)) for v in graph.vertices()}
-    centers: set[Vertex] = set()
+    # Pick order is deterministic: `max` ties resolve to the first key
+    # in `balls`, whose order is the graph's vertex order (RL003).
+    centers: list[Vertex] = []
     while uncovered:
         best = max(balls, key=lambda v: len(balls[v] & uncovered))
         gain = balls[best] & uncovered
         if not gain:
             raise AnalysisError("greedy cover stalled (disconnected graph?)")
-        centers.add(best)
+        centers.append(best)
         uncovered -= gain
         del balls[best]
     return centers
 
 
-def is_ball_cover(graph: FiniteGraph, centers, radius: int) -> bool:
+def is_ball_cover(
+    graph: FiniteGraph, centers: Iterable[Vertex], radius: int
+) -> bool:
     """Verify the BALL COVER property: every vertex within ``radius``
     of some center (multi-source BFS)."""
     center_list = list(centers)
     if not center_list:
         return len(graph) == 0
-    reached: set[Vertex] = set()
-    frontier = set(center_list)
-    reached.update(frontier)
+    reached: set[Vertex] = set(center_list)
+    frontier: list[Vertex] = list(dict.fromkeys(center_list))
     for _ in range(radius):
-        nxt: set[Vertex] = set()
+        nxt: list[Vertex] = []
         for u in frontier:
             for v in graph.neighbors(u):
                 if v not in reached:
                     reached.add(v)
-                    nxt.add(v)
+                    nxt.append(v)
         if not nxt:
             break
         frontier = nxt
     return len(reached) == len(graph)
 
 
-def nearest_center_map(graph: FiniteGraph, centers) -> dict[Vertex, Vertex]:
+def nearest_center_map(
+    graph: FiniteGraph, centers: Iterable[Vertex]
+) -> dict[Vertex, Vertex]:
     """Map every vertex to its nearest center (ties broken by BFS
-    arrival order). Used by the Theorem 4 paging policy, which must
-    find a block center within ``r/2`` of any faulting vertex."""
+    arrival order — pass an *ordered* collection, RL003). Used by the
+    Theorem 4 paging policy, which must find a block center within
+    ``r/2`` of any faulting vertex."""
     center_list = list(centers)
     if not center_list:
         raise AnalysisError("no centers given")

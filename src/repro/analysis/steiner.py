@@ -67,7 +67,10 @@ def _center_spanning_edges(
     graph: FiniteGraph, centers: list[Vertex]
 ) -> list[tuple[Vertex, Vertex]]:
     """A spanning tree of the centers under graph distance (Prim)."""
-    remaining = set(centers[1:])
+    # Insertion-ordered (RL003): `remaining` is scanned below with a
+    # strict-< tie-break, so its iteration order must be the centers'
+    # construction order, not hash order.
+    remaining = dict.fromkeys(centers[1:])
     in_tree = [centers[0]]
     edges: list[tuple[Vertex, Vertex]] = []
     # Distances from each tree member, computed lazily and cached.
@@ -87,7 +90,7 @@ def _center_spanning_edges(
         _, u, v = best
         edges.append((u, v))
         in_tree.append(v)
-        remaining.discard(v)
+        del remaining[v]
     return edges
 
 
@@ -119,9 +122,11 @@ def _build_skeletal_steiner_tree(
     if not centers:
         raise AnalysisError("graph has no vertices")
     # Realize a center spanning tree as shortest paths in the graph.
-    tree_vertex_set: set[Vertex] = {centers[0]}
+    # Insertion-ordered (RL003): the subgraph and group assignment
+    # below inherit this iteration order, so it must be deterministic.
+    tree_vertex_set: dict[Vertex, None] = dict.fromkeys([centers[0]])
     for u, v in _center_spanning_edges(graph, centers):
-        tree_vertex_set.update(shortest_path(graph, u, v))
+        tree_vertex_set.update(dict.fromkeys(shortest_path(graph, u, v)))
     skeleton_graph = subgraph(graph, tree_vertex_set)
     root = centers[0]
     tree = bfs_spanning_tree(skeleton_graph, root)
@@ -146,10 +151,14 @@ def _build_skeletal_steiner_tree(
 
 
 def _group_assignment(
-    graph: FiniteGraph, tree_vertices: set[Vertex]
+    graph: FiniteGraph, tree_vertices: "dict[Vertex, None] | list[Vertex]"
 ) -> dict[Vertex, Vertex]:
     """Assign each graph vertex to its nearest skeletal-tree vertex
-    (multi-source BFS; ties go to the earlier-reached parent)."""
+    (multi-source BFS; ties go to the earlier-reached parent).
+
+    ``tree_vertices`` must be an *ordered* collection (RL003): the
+    tie-break depends on frontier order, which must be deterministic.
+    """
     assignment = {v: v for v in tree_vertices}
     frontier = list(tree_vertices)
     while frontier:

@@ -123,7 +123,7 @@ def lemma13_blocking(
     return cached("blocking.lemma13", _blocking_key(graph, block_size), build)
 
 
-def _cover_centers(graph: FiniteGraph, radius: int, method: str) -> set[Vertex]:
+def _cover_centers(graph: FiniteGraph, radius: int, method: str) -> list[Vertex]:
     """Centers solving BALL COVER(radius) by the requested construction."""
     if method == "packing":
         return ball_cover_packing(graph, radius)
@@ -138,7 +138,7 @@ def _cover_centers(graph: FiniteGraph, radius: int, method: str) -> set[Vertex]:
 
 def _reduced_blocking(
     graph: FiniteGraph, block_size: int, method: str
-) -> tuple[ExplicitBlocking, NearestCenterPolicy, set[Vertex]]:
+) -> tuple[ExplicitBlocking, NearestCenterPolicy, list[Vertex]]:
     r_minus = min_radius(graph, block_size)
     if math.isinf(r_minus):
         raise BlockingError(
@@ -147,7 +147,7 @@ def _reduced_blocking(
     cover_radius = max(int(r_minus) // 2, 0)
     if cover_radius == 0:
         # Degenerate radius: every vertex must be a center.
-        centers: set[Vertex] = set(graph.vertices())
+        centers: list[Vertex] = list(graph.vertices())
     else:
         centers = _cover_centers(graph, cover_radius, method)
     blocking = compact_neighborhood_blocking(graph, block_size, centers)

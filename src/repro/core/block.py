@@ -10,7 +10,7 @@ lever.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.errors import BlockingError
 from repro.typing import BlockId, Vertex
@@ -33,7 +33,7 @@ class Block:
     def __contains__(self, vertex: Vertex) -> bool:
         return vertex in self.vertices
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Vertex]:
         return iter(self.vertices)
 
 

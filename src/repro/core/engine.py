@@ -43,7 +43,7 @@ from repro.paging.eviction import (
     InstrumentedEviction,
     default_eviction,
 )
-from repro.typing import Vertex
+from repro.typing import BlockId, Vertex
 
 if TYPE_CHECKING:  # avoid a runtime import cycle with repro.reliability
     from repro.obs.instrument import InstrumentationHook
@@ -368,7 +368,7 @@ class Searcher:
             instr.block_read(block, vertex, memory, trace)
 
     def _fetch_resilient(
-        self, vertex: Vertex, block_id, trace: SearchTrace
+        self, vertex: Vertex, block_id: BlockId, trace: SearchTrace
     ) -> Block:
         """Read the chosen block through the resilient store, falling
         back to *alternate blocks covering the faulting vertex* when the

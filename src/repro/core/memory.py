@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import abc
 from collections import deque
+from typing import Iterable
 
 from repro.core.block import Block
 from repro.core.model import ModelParams, PagingModel
@@ -96,7 +97,7 @@ class Memory(abc.ABC):
             return True
         return False
 
-    def _add_copies(self, vertices) -> None:
+    def _add_copies(self, vertices: Iterable[Vertex]) -> None:
         counts = self._counts
         covered = self._covered
         for v in vertices:
@@ -109,7 +110,7 @@ class Memory(abc.ABC):
         self._covered = covered
         self._occupancy += len(vertices)
 
-    def _remove_copies(self, vertices) -> None:
+    def _remove_copies(self, vertices: Iterable[Vertex]) -> None:
         counts = self._counts
         covered = self._covered
         for v in vertices:

@@ -12,6 +12,7 @@ until the next fault") can be checked.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from repro.typing import BlockId
 
@@ -131,7 +132,7 @@ class SearchTrace:
         """Whether the run saw any disk trouble at all."""
         return self.failed_reads > 0 or self.fallback_reads > 0
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """Every counter as a plain dict (lists copied) — the ground
         truth a ``run_end`` trace event carries, and what
         ``repro.obs.replay`` reconstructs and verifies against."""
@@ -149,7 +150,7 @@ class SearchTrace:
         }
 
     @classmethod
-    def from_snapshot(cls, data: dict) -> "SearchTrace":
+    def from_snapshot(cls, data: Mapping[str, Any]) -> "SearchTrace":
         """Rebuild a trace from :meth:`snapshot` output."""
         return cls(
             steps=data["steps"],

@@ -16,7 +16,11 @@ the closed-form checks, and a verdict line; exits nonzero if any bound
 failed. With ``--fault-rate`` every block read runs through the
 reliability layer (seeded fault injection, exponential-backoff retries,
 replica fallback); runs that die anyway are reported as degraded cells
-and do not abort the sweep or fail the verdict.
+and do not abort the sweep or fail the verdict. Game bounds are only
+*gating* on a reliable disk — a fallback read services a fault from a
+worse replica, so an injected-fault run can legitimately land under a
+lower bound; such misses are reported but informational. Closed-form
+checks are disk-independent and always gate.
 
 Observability flags (see ``repro.obs``):
 
@@ -240,6 +244,21 @@ def main(argv: list[str] | None = None) -> int:
         for description in dead:
             print(f"  - {description}")
     bad = failures(games, checks)
+    if reliability is not None:
+        # The paper's game bounds assume a reliable disk; under fault
+        # injection a fallback read may service a fault from a worse
+        # replica, so bound misses are informational, not failures.
+        # Closed-form checks are disk-independent and still gate.
+        bad_checks = [c.description for c in checks if not c.holds]
+        soft = [d for d in bad if d not in bad_checks]
+        if soft:
+            print(
+                f"\n{len(soft)} bound(s) not met under injected faults "
+                f"(informational; bounds assume a reliable disk):"
+            )
+            for description in soft:
+                print(f"  - {description}")
+        bad = bad_checks
     if bad:
         print(f"\n{len(bad)} bound(s) violated:")
         for description in bad:

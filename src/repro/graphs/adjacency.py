@@ -21,10 +21,17 @@ class AdjacencyGraph(FiniteGraph):
     Vertices are arbitrary hashables. Self-loops are rejected (the
     paper's searching model walks simple edges); parallel edges are
     meaningless in a set representation.
+
+    Adjacency is stored as insertion-ordered dicts (RL003): neighbor
+    iteration order is *edge-insertion order*, a deterministic function
+    of the construction sequence, never hash order — so BFS plans,
+    adversary walks, and everything downstream are identical across
+    ``PYTHONHASHSEED`` values even for ``str``/``tuple`` vertices.
+    Membership tests stay O(1).
     """
 
     def __init__(self, vertices: Iterable[Vertex] = ()) -> None:
-        self._adj: dict[Vertex, set[Vertex]] = {}
+        self._adj: dict[Vertex, dict[Vertex, None]] = {}
         # Set by the deterministic generators (repro.graphs.generators)
         # after they finish building; any later mutation clears it, so
         # a tagged graph is always exactly the generator's product.
@@ -62,21 +69,22 @@ class AdjacencyGraph(FiniteGraph):
     def add_vertex(self, vertex: Vertex) -> None:
         """Add an isolated vertex (no-op if already present)."""
         self._cache_key = None
-        self._adj.setdefault(vertex, set())
+        self._adj.setdefault(vertex, {})
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
         if u == v:
             raise GraphError(f"self-loop on {u!r} is not allowed")
         self._cache_key = None
-        self._adj.setdefault(u, set()).add(v)
-        self._adj.setdefault(v, set()).add(u)
+        self._adj.setdefault(u, {})[v] = None
+        self._adj.setdefault(v, {})[u] = None
 
     # -- Graph interface -------------------------------------------------
 
-    def neighbors(self, vertex: Vertex) -> frozenset[Vertex]:
+    def neighbors(self, vertex: Vertex) -> tuple[Vertex, ...]:
+        """Neighbors in edge-insertion order (deterministic)."""
         try:
-            return frozenset(self._adj[vertex])
+            return tuple(self._adj[vertex])
         except KeyError:
             raise GraphError(f"vertex {vertex!r} is not in the graph") from None
 
@@ -119,11 +127,17 @@ class AdjacencyGraph(FiniteGraph):
 
 
 def subgraph(graph: FiniteGraph, keep: Iterable[Vertex]) -> AdjacencyGraph:
-    """The subgraph of ``graph`` induced on the vertex set ``keep``."""
-    keep_set = set(keep)
-    result = AdjacencyGraph(keep_set)
-    for u in keep_set:
+    """The subgraph of ``graph`` induced on the vertex set ``keep``.
+
+    ``keep`` is deduplicated preserving its order, so the result's
+    vertex and neighbor iteration order is a deterministic function of
+    the caller's sequence (RL003: never iterate a bare set here —
+    hash order would leak into every downstream BFS).
+    """
+    kept = dict.fromkeys(keep)
+    result = AdjacencyGraph(kept)
+    for u in kept:
         for v in graph.neighbors(u):
-            if v in keep_set:
+            if v in kept:
                 result.add_edge(u, v)
     return result

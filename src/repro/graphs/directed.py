@@ -11,11 +11,14 @@ supplies the substrate so the question can be explored empirically
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from repro.errors import GraphError
 from repro.graphs.base import FiniteGraph
 from repro.typing import Vertex
+
+if TYPE_CHECKING:
+    from repro.graphs.adjacency import AdjacencyGraph
 
 
 class DirectedAdjacencyGraph(FiniteGraph):
@@ -26,8 +29,10 @@ class DirectedAdjacencyGraph(FiniteGraph):
     """
 
     def __init__(self, vertices: Iterable[Vertex] = ()) -> None:
-        self._out: dict[Vertex, set[Vertex]] = {}
-        self._in: dict[Vertex, set[Vertex]] = {}
+        # Insertion-ordered adjacency (RL003): arc iteration order is
+        # construction order, never hash order.
+        self._out: dict[Vertex, dict[Vertex, None]] = {}
+        self._in: dict[Vertex, dict[Vertex, None]] = {}
         for v in vertices:
             self.add_vertex(v)
 
@@ -43,8 +48,8 @@ class DirectedAdjacencyGraph(FiniteGraph):
         return graph
 
     def add_vertex(self, vertex: Vertex) -> None:
-        self._out.setdefault(vertex, set())
-        self._in.setdefault(vertex, set())
+        self._out.setdefault(vertex, {})
+        self._in.setdefault(vertex, {})
 
     def add_edge(self, src: Vertex, dst: Vertex) -> None:
         """Add the arc ``src -> dst``."""
@@ -52,20 +57,21 @@ class DirectedAdjacencyGraph(FiniteGraph):
             raise GraphError(f"self-loop on {src!r} is not allowed")
         self.add_vertex(src)
         self.add_vertex(dst)
-        self._out[src].add(dst)
-        self._in[dst].add(src)
+        self._out[src][dst] = None
+        self._in[dst][src] = None
 
     # -- Graph interface ---------------------------------------------------
 
-    def neighbors(self, vertex: Vertex) -> frozenset[Vertex]:
+    def neighbors(self, vertex: Vertex) -> tuple[Vertex, ...]:
+        """Out-neighbors in arc-insertion order (deterministic)."""
         try:
-            return frozenset(self._out[vertex])
+            return tuple(self._out[vertex])
         except KeyError:
             raise GraphError(f"vertex {vertex!r} is not in the graph") from None
 
-    def in_neighbors(self, vertex: Vertex) -> frozenset[Vertex]:
+    def in_neighbors(self, vertex: Vertex) -> tuple[Vertex, ...]:
         try:
-            return frozenset(self._in[vertex])
+            return tuple(self._in[vertex])
         except KeyError:
             raise GraphError(f"vertex {vertex!r} is not in the graph") from None
 
@@ -99,7 +105,7 @@ class DirectedAdjacencyGraph(FiniteGraph):
                 graph.add_edge(v, u)
         return graph
 
-    def as_undirected(self):
+    def as_undirected(self) -> "AdjacencyGraph":
         """Forget directions (the paper's setting) — for comparing the
         directed game against the undirected bounds on the same data."""
         from repro.graphs.adjacency import AdjacencyGraph

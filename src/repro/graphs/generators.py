@@ -227,8 +227,11 @@ def _connect_components(graph: AdjacencyGraph, points) -> None:
 
     while True:
         start = next(iter(graph.vertices()))
-        component = set(bfs_distances(graph, start))
-        outside = [v for v in graph.vertices() if v not in component]
+        # BFS-settlement order, not a set (RL003): the strict-< scan
+        # below tie-breaks on iteration order.
+        component = list(bfs_distances(graph, start))
+        component_set = set(component)
+        outside = [v for v in graph.vertices() if v not in component_set]
         if not outside:
             return
         best = None

@@ -1,0 +1,124 @@
+"""The baseline burn-down mechanism.
+
+A baseline is a snapshot of accepted findings: pre-existing debt that
+should not fail CI but must not grow. It stores line-insensitive
+fingerprints with multiplicities — ``(path, rule, message) -> count``
+— so unrelated edits that shift line numbers don't resurrect old
+findings, while a *new* violation of the same rule in the same file
+(which produces a new message or exceeds the counted multiplicity) is
+flagged immediately.
+
+Policy (see CONTRIBUTING.md): the baseline only shrinks. Fix a finding
+and regenerate with ``--write-baseline``; never hand-add entries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """Raised for unreadable or malformed baseline files."""
+
+
+@dataclass
+class Baseline:
+    """Accepted-finding multiplicities keyed by fingerprint."""
+
+    entries: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = finding.fingerprint
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise BaselineError(
+                f"baseline file {path} does not exist "
+                f"(generate it with --write-baseline)"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported format "
+                f"(expected version {_VERSION})"
+            )
+        entries: dict[tuple[str, str, str], int] = {}
+        for row in data.get("findings", []):
+            try:
+                key = (str(row["path"]), str(row["rule"]), str(row["message"]))
+                count = int(row.get("count", 1))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BaselineError(
+                    f"baseline {path} has a malformed entry: {row!r}"
+                ) from exc
+            entries[key] = entries.get(key, 0) + count
+        return cls(entries=entries)
+
+    def dump(self, path: str | Path) -> None:
+        """Write the baseline, sorted, one JSON object per finding
+        bucket (stable output: diffs show exactly the burn-down)."""
+        rows = [
+            {"path": p, "rule": r, "message": m, "count": c}
+            for (p, r, m), c in sorted(self.entries.items())
+        ]
+        payload = {"version": _VERSION, "findings": rows}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def filter(self, findings: list[Finding]) -> tuple[list[Finding], int]:
+        """Split findings into (new, hidden-count).
+
+        For each fingerprint bucket, the first ``count`` findings (in
+        line order — the sorted input order) are considered
+        pre-existing and hidden; any excess is new. Baseline entries
+        that no longer match anything are simply unused (report them
+        via :meth:`stale_entries` for burn-down hygiene).
+        """
+        remaining = dict(self.entries)
+        new: list[Finding] = []
+        hidden = 0
+        for finding in findings:
+            key = finding.fingerprint
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                hidden += 1
+            else:
+                new.append(finding)
+        return new, hidden
+
+    def stale_entries(
+        self, findings: list[Finding]
+    ) -> list[tuple[str, str, str]]:
+        """Fingerprints in the baseline with no live finding — fixed
+        debt whose entries should be dropped on the next regenerate."""
+        live: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = finding.fingerprint
+            live[key] = live.get(key, 0) + 1
+        return sorted(
+            key
+            for key, count in self.entries.items()
+            if live.get(key, 0) < count
+        )
+
+
+__all__ = ["Baseline", "BaselineError"]

@@ -1,0 +1,195 @@
+"""The rule protocol, the per-file context, and the rule registry.
+
+A rule is a small object with an id (``RLxxx``), a severity, a
+human-oriented ``rationale``/``autofix_hint``, and an ``interests``
+tuple of AST node types. The engine parses each file once and calls
+:meth:`Rule.check` for every node whose type a rule declared interest
+in; the rule yields :class:`~repro.lint.findings.Finding`s via
+:meth:`FileContext.finding`.
+
+:class:`FileContext` carries everything rules commonly need so no rule
+re-walks the tree: source lines, parent links, resolved import
+aliases, and per-rule scratch space (used e.g. by RL003 to cache
+per-function set-binding analyses).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ReproError
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may want to know about the file under lint."""
+
+    relpath: str  # POSIX, relative to the lint root
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    lines: list[str] = field(default_factory=list)
+    # node -> enclosing node, for scope climbs (RL003, RL007).
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    # local name -> dotted module path ("np" -> "numpy", "random" -> "random").
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    # local name -> fully dotted origin ("choice" -> "random.choice").
+    from_imports: dict[str, str] = field(default_factory=dict)
+    # rule id -> arbitrary per-file cache.
+    scratch: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls, relpath: str, source: str, tree: ast.Module, config: LintConfig
+    ) -> "FileContext":
+        ctx = cls(
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            config=config,
+            lines=source.splitlines(),
+        )
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                ctx.parents[child] = node
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        ctx.module_aliases[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".")[0]
+                        ctx.module_aliases[top] = top
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    ctx.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return ctx
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str
+    ) -> Finding:
+        """Package one violation at ``node``'s location."""
+        return Finding(
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule.id,
+            severity=rule.severity,
+            message=message,
+        )
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """Resolve an expression to a dotted origin name, through the
+        file's imports.
+
+        ``time.perf_counter`` -> ``"time.perf_counter"``;
+        with ``from datetime import datetime as dt``, ``dt.now`` ->
+        ``"datetime.datetime.now"``; with ``from random import choice``,
+        ``choice`` -> ``"random.choice"``. Returns ``None`` for
+        anything that is not a plain (possibly dotted) name.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = node.id
+        resolved = self.from_imports.get(head) or self.module_aliases.get(head, head)
+        parts.append(resolved)
+        return ".".join(reversed(parts))
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The nearest enclosing function definition, if any."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        """The nearest enclosing class definition, if any."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            current = self.parents.get(current)
+        return None
+
+
+class Rule(abc.ABC):
+    """One invariant. Subclasses set the class attributes and implement
+    :meth:`check`; they are registered via :func:`register` and
+    instantiated once per engine run (rules hold no per-file state —
+    per-file caches belong in ``ctx.scratch``)."""
+
+    id: str = "RL000"
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    rationale: str = ""
+    autofix_hint: str = ""
+    # AST node types this rule wants to see. The engine dispatches
+    # exactly these; () means file-level only (check called with Module).
+    interests: tuple[type[ast.AST], ...] = ()
+
+    def applies_to(self, relpath: str, config: LintConfig) -> bool:
+        """Whether this rule runs on the given file at all (path
+        scoping; overridden by path-scoped rules)."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one node the rule declared interest in."""
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.id or rule_cls.id == "RL000":
+        raise ReproError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in _REGISTRY:
+        raise ReproError(f"duplicate rule id {rule_cls.id}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    import repro.lint.rulepack  # noqa: F401  (registers RL001..RL007)
+
+    return [
+        _REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)
+    ]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """One rule by id (for tests and docs tooling)."""
+    import repro.lint.rulepack  # noqa: F401
+
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError:
+        raise ReproError(f"unknown rule id {rule_id!r}") from None
+
+
+def select_rules(
+    rules: Iterable[Rule], select: tuple[str, ...], ignore: tuple[str, ...]
+) -> list[Rule]:
+    """Apply ``--select`` / ``--ignore`` (select wins, then ignore)."""
+    chosen = [
+        rule
+        for rule in rules
+        if (not select or rule.id in select) and rule.id not in ignore
+    ]
+    return chosen

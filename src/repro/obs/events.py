@@ -56,11 +56,12 @@ class TraceEvent:
 
     run: int
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """The JSON-ready wire form of this event."""
-        payload: dict = {"event": self.kind}
+        payload: dict[str, Any] = {"event": self.kind}
         payload.update(asdict(self))
-        return jsonable(payload)
+        result: dict[str, Any] = jsonable(payload)
+        return result
 
 
 @dataclass(frozen=True)
@@ -166,7 +167,7 @@ class EvictionEvent(TraceEvent):
 
     kind: ClassVar[str] = "eviction"
 
-    block_ids: tuple | None
+    block_ids: tuple[Any, ...] | None
     copies: int
     occupancy: int
 
@@ -183,7 +184,7 @@ class RunEndEvent(TraceEvent):
 
     kind: ClassVar[str] = "run_end"
 
-    trace: Mapping
+    trace: Mapping[str, Any]
     error: str | None = None
 
 
@@ -202,7 +203,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
 }
 
 
-def event_from_dict(payload: Mapping) -> TraceEvent:
+def event_from_dict(payload: Mapping[str, Any]) -> TraceEvent:
     """Rebuild an event from its wire form.
 
     Identifier fields (vertices, block ids) are retupled; raises
@@ -212,9 +213,9 @@ def event_from_dict(payload: Mapping) -> TraceEvent:
     cls = EVENT_TYPES.get(kind)
     if cls is None:
         raise ReproError(f"unknown trace event kind {kind!r}")
-    names = {f.name for f in fields(cls)}
-    kwargs = {}
-    for name in names:
+    kwargs: dict[str, Any] = {}
+    for field_info in fields(cls):  # declaration order, not hash order
+        name = field_info.name
         if name not in payload:
             raise ReproError(f"{kind} event missing field {name!r}: {payload}")
         value = payload[name]

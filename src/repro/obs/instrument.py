@@ -76,7 +76,7 @@ class InstrumentationHook:
         """A fault was serviced from an alternate replica."""
 
     def eviction(
-        self, block_ids: tuple | None, copies: int, occupancy: int
+        self, block_ids: tuple[Any, ...] | None, copies: int, occupancy: int
     ) -> None:
         """Memory flushed ``copies`` vertex copies (whole blocks
         ``block_ids`` in the weak model) to make room."""
@@ -192,7 +192,7 @@ class Instrumentation(InstrumentationHook):
             self.metrics.counter("fallback_reads").inc()
 
     def eviction(
-        self, block_ids: tuple | None, copies: int, occupancy: int
+        self, block_ids: tuple[Any, ...] | None, copies: int, occupancy: int
     ) -> None:
         self.sink.emit(
             EvictionEvent(
@@ -222,35 +222,43 @@ class CompositeHook(InstrumentationHook):
     def __init__(self, *hooks: InstrumentationHook) -> None:
         self.hooks = list(hooks)
 
-    def run_start(self, driver, params, read_cost=None):
+    def run_start(
+        self, driver: str, params: "ModelParams", read_cost: float | None = None
+    ) -> None:
         for h in self.hooks:
             h.run_start(driver, params, read_cost)
 
-    def step(self, vertex):
+    def step(self, vertex: Any) -> None:
         for h in self.hooks:
             h.step(vertex)
 
-    def fault(self, vertex, gap, index):
+    def fault(self, vertex: Any, gap: int, index: int) -> None:
         for h in self.hooks:
             h.fault(vertex, gap, index)
 
-    def block_read(self, block, vertex, memory, trace):
+    def block_read(
+        self, block: Any, vertex: Any, memory: "Memory", trace: "SearchTrace"
+    ) -> None:
         for h in self.hooks:
             h.block_read(block, vertex, memory, trace)
 
-    def retry(self, block_id, attempt, outcome, delay):
+    def retry(
+        self, block_id: Any, attempt: int, outcome: str, delay: float | None
+    ) -> None:
         for h in self.hooks:
             h.retry(block_id, attempt, outcome, delay)
 
-    def fallback(self, vertex, failed_block, block_id):
+    def fallback(self, vertex: Any, failed_block: Any, block_id: Any) -> None:
         for h in self.hooks:
             h.fallback(vertex, failed_block, block_id)
 
-    def eviction(self, block_ids, copies, occupancy):
+    def eviction(
+        self, block_ids: tuple[Any, ...] | None, copies: int, occupancy: int
+    ) -> None:
         for h in self.hooks:
             h.eviction(block_ids, copies, occupancy)
 
-    def run_end(self, trace, error=None):
+    def run_end(self, trace: "SearchTrace", error: str | None = None) -> None:
         for h in self.hooks:
             h.run_end(trace, error)
 
@@ -267,7 +275,9 @@ class LegacyOnFaultAdapter(InstrumentationHook):
     def __init__(self, callback: FaultCallback) -> None:
         self.callback = callback
 
-    def block_read(self, block, vertex, memory, trace):
+    def block_read(
+        self, block: Any, vertex: Any, memory: "Memory", trace: "SearchTrace"
+    ) -> None:
         self.callback(vertex, block.block_id, trace)
 
 

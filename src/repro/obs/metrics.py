@@ -99,7 +99,7 @@ class Histogram:
     def mean(self) -> float | None:
         return self.total / self.count if self.count else None
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         return {
             "count": self.count,
             "sum": self.total,
@@ -120,7 +120,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: dict[str, Any] = {}
 
-    def _get(self, name: str, cls: type) -> Any:
+    def _get(self, name: str, cls: type[Any]) -> Any:
         instrument = self._instruments.get(name)
         if instrument is None:
             instrument = cls()
@@ -144,7 +144,7 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """All instruments as plain JSON-ready values, sorted by name."""
         return {
             name: instrument.snapshot()

@@ -38,7 +38,7 @@ class PhaseStats:
     def mean_s(self) -> float:
         return self.seconds / self.count if self.count else 0.0
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         return {
             "phase": self.name,
             "seconds": self.seconds,
@@ -87,7 +87,7 @@ class PhaseProfiler:
     def __contains__(self, name: str) -> bool:
         return name in self._phases
 
-    def report(self) -> dict:
+    def report(self) -> dict[str, Any]:
         """All phases (insertion order) plus totals, JSON-ready."""
         phases = [stats.snapshot() for stats in self._phases.values()]
         return {
@@ -142,24 +142,27 @@ def _stat_value(stats: Any, field: str) -> float | None:
             continue
         try:
             value = getattr(candidate, field)
-        except Exception:  # stats objects raise on empty data
+        except (AttributeError, TypeError, ValueError, ZeroDivisionError):
+            # RL006: typed — pytest-benchmark stats objects raise
+            # StatisticsError (a ValueError) or divide by zero on
+            # empty data, and shapes vary across versions.
             continue
         if isinstance(value, (int, float)):
             return float(value)
     return None
 
 
-def bench_rollup(name: str, benchmarks: Iterable[Any]) -> dict:
+def bench_rollup(name: str, benchmarks: Iterable[Any]) -> dict[str, Any]:
     """Fold a module's pytest-benchmark results into the standard
     ``BENCH_*.json`` payload: one timing entry per benchmarked test
     (min/mean/max seconds and rounds) plus that test's ``extra_info``
     counters (the sigma rows and check counts the conftest helpers
     attach)."""
-    timings = []
+    timings: list[dict[str, Any]] = []
     total = 0.0
     for meta in benchmarks:
         stats = getattr(meta, "stats", None)
-        entry: dict = {
+        entry: dict[str, Any] = {
             "test": getattr(meta, "name", None) or str(meta),
             "rounds": _stat_value(stats, "rounds"),
             "min_s": _stat_value(stats, "min"),
@@ -183,7 +186,7 @@ def bench_rollup(name: str, benchmarks: Iterable[Any]) -> dict:
 
 
 def write_bench_json(
-    name: str, payload: Mapping, root: str | Path = "."
+    name: str, payload: Mapping[str, Any], root: str | Path = "."
 ) -> Path:
     """Write ``payload`` to ``<root>/BENCH_<name>.json`` and return the
     path. ``name`` should be the bench module's stem without the

@@ -26,7 +26,7 @@ import argparse
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.core.stats import SearchTrace
 from repro.errors import ReproError
@@ -61,7 +61,7 @@ class ReplayedRun:
     events: int = 0
     evictions: int = 0
     evicted_copies: int = 0
-    declared: dict | None = None  # the run_end snapshot, wire form
+    declared: dict[str, Any] | None = None  # the run_end snapshot, wire form
     error: str | None = None
 
     @property

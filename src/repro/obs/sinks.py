@@ -36,7 +36,7 @@ class TraceSink(abc.ABC):
     def __enter__(self) -> "TraceSink":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

@@ -1,0 +1,13 @@
+"""RL001 bad: module-level (global-state) RNG calls."""
+
+import random
+
+import numpy.random
+
+
+def shuffle_vertices(items):
+    random.seed(42)
+    random.shuffle(items)
+    pick = random.choice(items)
+    noise = numpy.random.rand(3)
+    return pick, noise

@@ -1,0 +1,11 @@
+"""RL002 bad: wall-clock reads in a deterministic path."""
+
+import time
+from datetime import datetime
+
+
+def run_with_timing(engine):
+    started = time.perf_counter()
+    stamp = datetime.now()
+    trace = engine.run()
+    return trace, time.perf_counter() - started, stamp

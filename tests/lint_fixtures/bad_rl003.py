@@ -1,0 +1,10 @@
+"""RL003 bad: hash-ordered iteration reaching results."""
+
+
+def plan_order(vertices):
+    pending = set(vertices)
+    order = [v for v in pending]
+    for v in pending:
+        order.append(v)
+    head, *rest = list({"a", "b", "c"})
+    return order, head, rest

@@ -1,0 +1,10 @@
+"""RL004 bad: a mutable spec with an unpicklable field."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CellSpec:
+    name: str
+    func: object
+    kwargs: dict

@@ -1,0 +1,17 @@
+"""RL005 bad: event fields that cannot round-trip the wire form."""
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs.events import TraceEvent
+
+
+@dataclass(frozen=True)
+class BlockSetEvent(TraceEvent):
+    blocks: set
+
+
+@dataclass
+class MutableEvent(TraceEvent):
+    vertex: Any
+    callback: Callable[[], None]

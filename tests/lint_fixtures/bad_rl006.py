@@ -1,0 +1,15 @@
+"""RL006 bad: handlers that swallow typed errors."""
+
+
+def read_or_none(store, block_id):
+    try:
+        return store.read(block_id)
+    except:  # noqa: E722
+        pass
+
+
+def read_quietly(store, block_id):
+    try:
+        return store.read(block_id)
+    except Exception:
+        return None

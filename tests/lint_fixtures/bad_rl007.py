@@ -1,0 +1,10 @@
+"""RL007 bad: unannotated public surface in a typed package."""
+
+
+def speedup(steps, faults):
+    return steps / faults
+
+
+class TraceSummary:
+    def describe(self, trace):
+        return f"{trace.steps} steps"

@@ -1,0 +1,14 @@
+"""RL001 good: seeded RNG instances, threaded to their users."""
+
+import random
+
+from numpy.random import default_rng
+
+
+def shuffle_vertices(items, seed):
+    rng = random.Random(seed)
+    rng.shuffle(items)
+    pick = rng.choice(items)
+    gen = default_rng(seed)
+    noise = gen.random(3)
+    return pick, noise

@@ -1,0 +1,7 @@
+"""RL002 good: time is modeled, not measured."""
+
+
+def run_with_modeled_io(engine, read_cost):
+    trace = engine.run()
+    io_time = trace.blocks_read * read_cost
+    return trace, io_time

@@ -1,0 +1,11 @@
+"""RL003 good: sets only feed order-free consumers (or become
+ordered containers before iteration)."""
+
+
+def plan_order(vertices):
+    pending = dict.fromkeys(vertices)
+    order = [v for v in pending]
+    seen = set(vertices)
+    count = sum(1 for v in seen)
+    biggest = max(seen)
+    return order, sorted(seen), count, biggest

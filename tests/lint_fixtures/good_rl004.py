@@ -1,0 +1,11 @@
+"""RL004 good: frozen spec with whitelisted field types."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    name: str
+    kind: str
+    func: str
+    kwargs: dict = field(default_factory=dict)

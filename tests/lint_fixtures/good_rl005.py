@@ -1,0 +1,16 @@
+"""RL005 good: frozen events within the wire-type whitelist."""
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Mapping
+
+from repro.obs.events import TraceEvent
+
+
+@dataclass(frozen=True)
+class CustomReadEvent(TraceEvent):
+    kind: ClassVar[str] = "custom_read"
+
+    block_id: Any
+    size: int
+    payload: Mapping[str, Any]
+    note: str | None = None

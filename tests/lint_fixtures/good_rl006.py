@@ -1,0 +1,18 @@
+"""RL006 good: typed handlers, or broad ones that re-raise."""
+
+from repro.errors import PagingError, ReproError
+
+
+def read_or_none(store, block_id):
+    try:
+        return store.read(block_id)
+    except PagingError:
+        return None
+
+
+def read_logged(store, block_id, log):
+    try:
+        return store.read(block_id)
+    except Exception as exc:
+        log(exc)
+        raise

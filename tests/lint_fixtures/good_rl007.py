@@ -1,0 +1,18 @@
+"""RL007 good: fully annotated public surface; private helpers and
+nested functions are out of scope."""
+
+
+def speedup(steps: int, faults: int) -> float:
+    return steps / faults
+
+
+def _ratio(a, b):
+    return a / b
+
+
+class TraceSummary:
+    def describe(self, trace: object) -> str:
+        def fmt(value):
+            return str(value)
+
+        return fmt(trace)

@@ -41,7 +41,7 @@ class TestConstruction:
 class TestQueries:
     def test_neighbors(self):
         g = AdjacencyGraph.from_edges([(1, 2), (1, 3)])
-        assert g.neighbors(1) == frozenset({2, 3})
+        assert set(g.neighbors(1)) == {2, 3}
 
     def test_neighbors_symmetric(self):
         g = AdjacencyGraph.from_edges([(1, 2)])

@@ -19,12 +19,12 @@ class TestDirectedGraph:
         g = DirectedAdjacencyGraph.from_edges([(0, 1)])
         assert g.has_edge(0, 1)
         assert not g.has_edge(1, 0)
-        assert g.neighbors(0) == frozenset({1})
-        assert g.neighbors(1) == frozenset()
+        assert set(g.neighbors(0)) == {1}
+        assert g.neighbors(1) == ()
 
     def test_in_neighbors(self):
         g = DirectedAdjacencyGraph.from_edges([(0, 2), (1, 2)])
-        assert g.in_neighbors(2) == frozenset({0, 1})
+        assert set(g.in_neighbors(2)) == {0, 1}
         assert g.in_degree(2) == 2
         assert g.out_degree(2) == 0
 

@@ -81,6 +81,63 @@ class TestRunGame:
         assert result.trace is not None
 
 
+class _ExplodingAdversary:
+    """Raises a non-ReproError mid-game (a genuine bug, not disk loss)."""
+
+    def reset(self):
+        pass
+
+    def start(self, view):
+        return (0,)
+
+    def step(self, pathfront, view):
+        raise RuntimeError("adversary bug")
+
+
+class TestDegradationPath:
+    """RL006's semantic contract: the harness degrades on typed
+    ReproErrors only — programming errors must propagate, never be
+    swallowed into a quietly-empty cell."""
+
+    def _run(self, **kwargs):
+        return run_game(
+            "T",
+            "demo",
+            InfiniteGridGraph(1),
+            contiguous_1d_blocking(8),
+            FirstBlockPolicy(),
+            ModelParams(8, 16),
+            _ExplodingAdversary(),
+            100,
+            **kwargs,
+        )
+
+    def test_non_repro_errors_propagate(self):
+        with pytest.raises(RuntimeError, match="adversary bug"):
+            self._run()
+
+    def test_repro_error_degrades_with_error_field(self):
+        from repro.errors import BudgetExceededError
+
+        class Budgeted(_ExplodingAdversary):
+            def step(self, pathfront, view):
+                raise BudgetExceededError("over budget")
+
+        result = run_game(
+            "T",
+            "demo",
+            InfiniteGridGraph(1),
+            contiguous_1d_blocking(8),
+            FirstBlockPolicy(),
+            ModelParams(8, 16),
+            Budgeted(),
+            100,
+        )
+        assert result.error is not None
+        assert "BudgetExceededError" in result.error
+        assert math.isnan(result.sigma)  # no partial trace attached
+
+
 class TestCheckResult:
     def test_holds_within_tolerance(self):
         assert CheckResult("E", "x", expected=5.0, measured=6.0, tolerance=1.0).holds

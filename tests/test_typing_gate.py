@@ -1,0 +1,29 @@
+"""The mypy strict gate (runs only where mypy is installed, e.g. CI).
+
+The offline test image ships no mypy and nothing may be installed, so
+this gate self-skips locally; CI's lint job installs mypy and runs it
+both directly (``mypy``) and through this test.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_mypy_strict_gate_passes():
+    """``mypy`` (configured by [tool.mypy] in pyproject.toml) must be
+    clean: strict over repro.core/repro.obs/repro.lint, overrides
+    elsewhere."""
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
