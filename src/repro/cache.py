@@ -42,6 +42,36 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
 
+def atomic_write_bytes(path: str | os.PathLike[str], data: bytes) -> None:
+    """Write ``data`` to ``path`` via tempfile + :func:`os.replace`.
+
+    The write is crash-atomic: readers see either the old complete
+    file or the new complete file, never a truncated mix — the same
+    idiom the construction cache's pickle spill uses, shared here so
+    result dumps and campaign manifests commit identically. Concurrent
+    writers race safely (last rename wins, both files were complete).
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(
+    path: str | os.PathLike[str], text: str, encoding: str = "utf-8"
+) -> None:
+    """Text-mode :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters for one :class:`ConstructionCache`."""
@@ -154,14 +184,9 @@ class ConstructionCache:
         path = self._disk_path(full_key)
         try:
             os.makedirs(self.disk_dir, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, path)  # atomic: concurrent writers race safely
-            except BaseException:
-                os.unlink(tmp)
-                raise
+            atomic_write_bytes(
+                path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            )
             self.stats.disk_writes += 1
         except (OSError, pickle.PickleError):
             pass  # an unspillable value is still served from memory

@@ -10,6 +10,11 @@ Usage::
     python -m repro.experiments --quick --trace-out trace.jsonl --metrics
                                            # record a structured event trace
                                            # and print aggregate metrics
+    python -m repro.experiments --quick --campaign sweep.jsonl --jobs 4
+                                           # crash-safe supervised campaign
+    python -m repro.experiments --resume sweep.jsonl
+                                           # resume it: completed cells are
+                                           # skipped, the rest re-run
 
 Prints the measured table (sigma per row with the paper's envelope),
 the closed-form checks, and a verdict line; exits nonzero if any bound
@@ -40,6 +45,30 @@ Performance flags:
   blocking, and radius is rebuilt from scratch).
 * ``--cache-dir PATH`` persists cached constructions to disk so
   repeated sweeps skip the expensive builds.
+
+Campaign flags (see ``repro.experiments.campaign``):
+
+* ``--campaign PATH`` runs the sweep as a crash-safe campaign: every
+  cell is a supervised worker process, and every transition is
+  journaled to the JSONL manifest at PATH with atomic commits. Worker
+  death (kill/crash), hangs (with ``--cell-timeout``), and corrupted
+  result handoffs are retried with backoff; a cell that exhausts
+  ``--max-attempts`` degrades into an errored row without aborting
+  the sweep. ``--trace-out``/``--metrics`` are allowed here even with
+  ``--jobs`` — they record the parent's campaign-level events.
+* ``--resume PATH`` picks a manifest back up after any interruption
+  (even SIGKILL of the whole tree): completed cells are loaded from
+  the journal, the rest re-run, and the merged output is
+  byte-identical to an uninterrupted serial run. Sweep shape flags
+  (``--quick``, ``--fault-rate``, ``--fault-seed``, ``--cells``) are
+  restored from the manifest header.
+* ``--cells A,B,...`` restricts the sweep to named cells.
+* ``--cell-timeout S`` arms a per-attempt wall-clock watchdog.
+* ``--max-attempts N`` caps attempts per cell (default 3).
+* ``--chaos-kill-every N`` / ``--chaos-corrupt-every N`` /
+  ``--chaos-delay S`` / ``--chaos-seed N`` inject deterministic
+  worker kills, spill corruption, and straggler delays (testing the
+  recovery machinery itself; see ``repro.experiments.chaos``).
 """
 
 from __future__ import annotations
@@ -126,17 +155,100 @@ def main(argv: list[str] | None = None) -> int:
         help="persist cached constructions (graphs, blockings, radii) "
         "to this directory across runs",
     )
+    parser.add_argument(
+        "--campaign",
+        metavar="PATH",
+        help="run as a crash-safe campaign journaled to this JSONL manifest "
+        "(supervised workers, per-cell retries, resumable)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume a campaign manifest: skip completed cells, re-run the rest",
+    )
+    parser.add_argument(
+        "--cells",
+        metavar="A,B,...",
+        help="restrict the sweep to these named cells (comma-separated)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="campaign watchdog: SIGKILL any cell attempt running longer "
+        "than S seconds (counts as a retryable failure)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="campaign retry cap per cell (default 3); an exhausted game "
+        "cell degrades to an errored row instead of aborting",
+    )
+    parser.add_argument(
+        "--chaos-kill-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="chaos: SIGKILL the worker of every Nth cell (first attempt)",
+    )
+    parser.add_argument(
+        "--chaos-corrupt-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="chaos: corrupt the committed result spill of every Nth cell",
+    )
+    parser.add_argument(
+        "--chaos-delay",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="chaos: delay every cell by ~S seconds (seeded jitter)",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the chaos plan's jitter streams",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.fault_rate <= 1.0:
         parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
-    if args.jobs > 1 and (args.trace_out or args.metrics or args.profile):
-        parser.error(
-            "--jobs > 1 cannot be combined with --trace-out, --metrics, or "
-            "--profile: those hooks are ambient per process (run them "
-            "serially, or drop --jobs)"
-        )
+    if args.campaign and args.resume:
+        parser.error("--campaign and --resume are mutually exclusive")
+    campaign_path = args.campaign or args.resume
+    if campaign_path:
+        if args.figures:
+            parser.error("--figures does not run a sweep; drop --campaign/--resume")
+        if args.profile:
+            parser.error(
+                "--profile is ambient per process and campaign cells run in "
+                "supervised workers; drop --profile"
+            )
+    else:
+        for flag, value in (
+            ("--cell-timeout", args.cell_timeout is not None),
+            ("--max-attempts", args.max_attempts is not None),
+            ("--chaos-kill-every", args.chaos_kill_every),
+            ("--chaos-corrupt-every", args.chaos_corrupt_every),
+            ("--chaos-delay", args.chaos_delay),
+        ):
+            if value:
+                parser.error(f"{flag} requires --campaign or --resume")
+        if args.jobs > 1 and (args.trace_out or args.metrics or args.profile):
+            parser.error(
+                "--jobs > 1 cannot be combined with --trace-out, --metrics, or "
+                "--profile: those hooks are ambient per process (run them "
+                "serially, under --campaign, or drop --jobs)"
+            )
+        if args.cells and args.profile:
+            parser.error("--cells is not supported with --profile")
     if args.no_cache and args.cache_dir:
         parser.error("--no-cache and --cache-dir are mutually exclusive")
     if args.no_cache or args.cache_dir:
@@ -152,6 +264,19 @@ def main(argv: list[str] | None = None) -> int:
 
         print(all_figures())
         return 0
+
+    cells = args.cells.split(",") if args.cells else None
+    if args.resume:
+        # The manifest header pins the sweep shape; restore it so a bare
+        # `--resume PATH` continues exactly the campaign that started.
+        from repro.experiments.manifest import load_manifest
+
+        meta = load_manifest(args.resume).meta
+        args.quick = bool(meta.get("quick", args.quick))
+        args.fault_rate = float(meta.get("fault_rate", args.fault_rate))
+        args.fault_seed = int(meta.get("fault_seed", args.fault_seed))
+        if meta.get("cells") is not None:
+            cells = list(meta["cells"])
 
     reliability = None
     if args.fault_rate > 0:
@@ -201,7 +326,38 @@ def main(argv: list[str] | None = None) -> int:
         progress = SweepProgress()
 
     with ambient:
-        if args.jobs > 1:
+        if campaign_path:
+            from repro.experiments.campaign import run_campaign
+            from repro.experiments.chaos import ChaosConfig
+
+            chaos = None
+            if args.chaos_kill_every or args.chaos_corrupt_every or args.chaos_delay:
+                chaos = ChaosConfig(
+                    seed=args.chaos_seed,
+                    kill_every=args.chaos_kill_every,
+                    corrupt_every=args.chaos_corrupt_every,
+                    delay_every=1 if args.chaos_delay else 0,
+                    delay_seconds=args.chaos_delay,
+                )
+            games, checks = run_campaign(
+                campaign_path,
+                quick=args.quick,
+                jobs=args.jobs,
+                reliability=reliability,
+                names=cells,
+                resume=bool(args.resume),
+                max_attempts=args.max_attempts if args.max_attempts else 3,
+                cell_timeout=args.cell_timeout,
+                chaos=chaos,
+                progress=progress,
+                meta={
+                    "quick": args.quick,
+                    "fault_rate": args.fault_rate,
+                    "fault_seed": args.fault_seed,
+                    "cells": cells,
+                },
+            )
+        elif args.jobs > 1 or cells is not None:
             from repro.experiments.parallel import run_all_parallel
 
             games, checks = run_all_parallel(
@@ -209,6 +365,7 @@ def main(argv: list[str] | None = None) -> int:
                 jobs=args.jobs,
                 reliability=reliability,
                 progress=progress,
+                names=cells,
             )
         else:
             games, checks = run_all(

@@ -4,20 +4,34 @@
 reproduction record (games + checks) to disk; :func:`load_results`
 reads it back into the result dataclasses, so sweeps can be archived,
 diffed between machines, or post-processed without re-running traces.
+
+Writes are crash-atomic (tempfile + :func:`os.replace`, the
+:mod:`repro.cache` spill idiom via
+:func:`~repro.cache.atomic_write_text`): a process killed mid-dump can
+never leave a truncated or unparseable results file — readers see the
+previous complete dump or the new one, nothing in between.
+
+The per-record converters (:func:`game_to_dict` / :func:`game_from_dict`
+and the check equivalents) are public because the campaign manifest
+(:mod:`repro.experiments.manifest`) journals individual cell results in
+exactly this wire form; round-tripping a result through them and
+dumping again is byte-identical to dumping the original.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
+from repro.cache import atomic_write_text
 from repro.experiments.harness import CheckResult, ExperimentResult
 
 _SCHEMA_VERSION = 1
 
 
-def _game_to_dict(result: ExperimentResult) -> dict:
+def game_to_dict(result: ExperimentResult) -> dict:
+    """The stable JSON wire form of one game row (no trace)."""
     return {
         "experiment": result.experiment,
         "description": result.description,
@@ -35,7 +49,26 @@ def _game_to_dict(result: ExperimentResult) -> dict:
     }
 
 
-def _check_to_dict(result: CheckResult) -> dict:
+def game_from_dict(payload: Mapping[str, Any]) -> ExperimentResult:
+    """Rebuild a game row from its wire form (``trace`` is ``None``)."""
+    return ExperimentResult(
+        experiment=payload["experiment"],
+        description=payload["description"],
+        params=dict(payload.get("params", {})),
+        sigma=payload["sigma"],
+        steady_sigma=payload["steady_sigma"],
+        min_gap=payload["min_gap"],
+        faults=payload["faults"],
+        steps=payload["steps"],
+        lower_bound=payload["lower_bound"],
+        upper_bound=payload["upper_bound"],
+        storage_blowup=payload["storage_blowup"],
+        error=payload.get("error"),
+    )
+
+
+def check_to_dict(result: CheckResult) -> dict:
+    """The stable JSON wire form of one closed-form check."""
     return {
         "experiment": result.experiment,
         "description": result.description,
@@ -44,6 +77,17 @@ def _check_to_dict(result: CheckResult) -> dict:
         "tolerance": result.tolerance,
         "holds": result.holds,
     }
+
+
+def check_from_dict(payload: Mapping[str, Any]) -> CheckResult:
+    """Rebuild a check from its wire form."""
+    return CheckResult(
+        experiment=payload["experiment"],
+        description=payload["description"],
+        expected=payload["expected"],
+        measured=payload["measured"],
+        tolerance=payload["tolerance"],
+    )
 
 
 def _jsonable(value):
@@ -57,14 +101,14 @@ def dump_results(
     games: Sequence[ExperimentResult],
     checks: Sequence[CheckResult],
 ) -> None:
-    """Write games and checks to a JSON file."""
+    """Write games and checks to a JSON file (atomically)."""
     payload = {
         "schema": _SCHEMA_VERSION,
         "paper": "Nodine, Goodrich, Vitter: Blocking for External Graph Searching",
-        "games": [_game_to_dict(g) for g in games],
-        "checks": [_check_to_dict(c) for c in checks],
+        "games": [game_to_dict(g) for g in games],
+        "checks": [check_to_dict(c) for c in checks],
     }
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    atomic_write_text(Path(path), json.dumps(payload, indent=2, sort_keys=True))
 
 
 def load_results(
@@ -81,31 +125,6 @@ def load_results(
             f"unsupported results schema {payload.get('schema')!r}; "
             f"expected {_SCHEMA_VERSION}"
         )
-    games = [
-        ExperimentResult(
-            experiment=g["experiment"],
-            description=g["description"],
-            params=dict(g.get("params", {})),
-            sigma=g["sigma"],
-            steady_sigma=g["steady_sigma"],
-            min_gap=g["min_gap"],
-            faults=g["faults"],
-            steps=g["steps"],
-            lower_bound=g["lower_bound"],
-            upper_bound=g["upper_bound"],
-            storage_blowup=g["storage_blowup"],
-            error=g.get("error"),
-        )
-        for g in payload["games"]
-    ]
-    checks = [
-        CheckResult(
-            experiment=c["experiment"],
-            description=c["description"],
-            expected=c["expected"],
-            measured=c["measured"],
-            tolerance=c["tolerance"],
-        )
-        for c in payload["checks"]
-    ]
+    games = [game_from_dict(g) for g in payload["games"]]
+    checks = [check_from_dict(c) for c in payload["checks"]]
     return games, checks

@@ -28,6 +28,7 @@ pool — the CLI rejects ``--jobs`` combined with ``--trace-out``,
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ReproError
@@ -127,8 +128,17 @@ def map_rows(
 
 
 def default_jobs() -> int:
-    """A sensible ``--jobs`` default: the machine's CPU count."""
-    return multiprocessing.cpu_count()
+    """A sensible ``--jobs`` default: the CPUs *this process may use*.
+
+    ``os.sched_getaffinity(0)`` respects CPU affinity masks and cgroup
+    cpusets (containerized CI typically grants far fewer CPUs than the
+    host machine has), so the fork pool is not oversubscribed there;
+    platforms without it fall back to ``os.cpu_count()``.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 __all__ = [

@@ -34,6 +34,11 @@ from repro.obs.context import current_instrumentation, use_instrumentation
 from repro.obs.events import (
     EVENT_TYPES,
     BlockReadEvent,
+    CampaignEvent,
+    CampaignResumeEvent,
+    CellEndEvent,
+    CellRetryEvent,
+    CellStartEvent,
     EvictionEvent,
     FallbackEvent,
     FaultEvent,
@@ -42,6 +47,7 @@ from repro.obs.events import (
     RunStartEvent,
     StepEvent,
     TraceEvent,
+    WorkerDeathEvent,
     event_from_dict,
 )
 from repro.obs.instrument import (
@@ -87,6 +93,11 @@ from repro.obs.sinks import (
 __all__ = [
     "EVENT_TYPES",
     "BlockReadEvent",
+    "CampaignEvent",
+    "CampaignResumeEvent",
+    "CellEndEvent",
+    "CellRetryEvent",
+    "CellStartEvent",
     "CompositeHook",
     "CompositeSink",
     "Counter",
@@ -113,6 +124,7 @@ __all__ = [
     "SweepProgress",
     "TraceEvent",
     "TraceSink",
+    "WorkerDeathEvent",
     "bench_rollup",
     "compose",
     "current_instrumentation",

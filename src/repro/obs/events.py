@@ -8,6 +8,13 @@ an unreliable disk forces re-reads (``retry``) and replica fallbacks
 (``fallback``), and the run ends (``run_end``) carrying the final
 :class:`~repro.core.stats.SearchTrace` snapshot.
 
+The crash-safe campaign runner (:mod:`repro.experiments.campaign`)
+adds five orchestration-level kinds on top — ``cell_started``,
+``cell_finished``, ``cell_retried``, ``worker_died``, and
+``campaign_resumed`` — all subclasses of :class:`CampaignEvent`. They
+share the wire form but describe worker supervision rather than game
+moves; replay skips them when reconstructing engine runs.
+
 Events are plain frozen dataclasses with a stable wire form
 (:meth:`TraceEvent.to_dict` / :func:`event_from_dict`): one JSON object
 per event, ``{"event": <kind>, "run": <id>, ...}``. Vertices and block
@@ -188,6 +195,94 @@ class RunEndEvent(TraceEvent):
     error: str | None = None
 
 
+@dataclass(frozen=True)
+class CampaignEvent(TraceEvent):
+    """Base of campaign-level events (the crash-safe sweep runner).
+
+    Campaign events describe the *orchestration* of cells, not the
+    engine's game moves: ``run`` carries the cell's index in the sweep
+    (``-1`` for campaign-wide events), never an engine run id. Replay
+    skips them when folding engine runs, so a mixed trace still
+    reconstructs exactly.
+    """
+
+
+@dataclass(frozen=True)
+class CellStartEvent(CampaignEvent):
+    """A campaign cell's worker was launched (attempt is 1-based)."""
+
+    kind: ClassVar[str] = "cell_started"
+
+    cell: str
+    attempt: int
+
+
+@dataclass(frozen=True)
+class CellEndEvent(CampaignEvent):
+    """A campaign cell reached a terminal state.
+
+    ``status`` is ``"done"`` (results journaled) or ``"failed"`` (all
+    retry attempts exhausted; the cell degraded into an errored
+    :class:`~repro.experiments.harness.ExperimentResult`).
+    """
+
+    kind: ClassVar[str] = "cell_finished"
+
+    cell: str
+    attempt: int
+    status: str
+
+
+@dataclass(frozen=True)
+class CellRetryEvent(CampaignEvent):
+    """A cell attempt failed and a retry was granted.
+
+    ``reason`` is ``"killed"`` (the worker died on a signal),
+    ``"crashed"`` (nonzero exit), ``"timeout"`` (the per-cell watchdog
+    fired), or ``"corrupt-result"`` (the worker exited cleanly but its
+    result spill was unreadable). ``delay`` is the backoff the retry
+    policy granted, in its modeled units.
+    """
+
+    kind: ClassVar[str] = "cell_retried"
+
+    cell: str
+    attempt: int
+    reason: str
+    delay: float | None
+
+
+@dataclass(frozen=True)
+class WorkerDeathEvent(CampaignEvent):
+    """A pool worker died mid-cell (killed or crashed).
+
+    ``exitcode`` is the process exit status — negative values are the
+    signal number (``-9`` for SIGKILL), ``None`` when the process
+    vanished without reporting one.
+    """
+
+    kind: ClassVar[str] = "worker_died"
+
+    cell: str
+    attempt: int
+    exitcode: int | None
+
+
+@dataclass(frozen=True)
+class CampaignResumeEvent(CampaignEvent):
+    """A campaign was resumed from its journaled manifest.
+
+    ``completed`` cells were loaded from the manifest and skipped;
+    ``pending`` cells (never finished, or failed) will be (re)run.
+    """
+
+    kind: ClassVar[str] = "campaign_resumed"
+
+    campaign_id: str
+    completed: int
+    pending: int
+
+
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.kind: cls
     for cls in (
@@ -199,6 +294,11 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         FallbackEvent,
         EvictionEvent,
         RunEndEvent,
+        CellStartEvent,
+        CellEndEvent,
+        CellRetryEvent,
+        WorkerDeathEvent,
+        CampaignResumeEvent,
     )
 }
 

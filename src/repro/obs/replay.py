@@ -32,6 +32,7 @@ from repro.core.stats import SearchTrace
 from repro.errors import ReproError
 from repro.obs.events import (
     BlockReadEvent,
+    CampaignEvent,
     EvictionEvent,
     FallbackEvent,
     FaultEvent,
@@ -92,6 +93,11 @@ def replay_events(events: Iterable[TraceEvent]) -> list[ReplayedRun]:
     """
     runs: dict[int, ReplayedRun] = {}
     for event in events:
+        if isinstance(event, CampaignEvent):
+            # Campaign orchestration events carry cell indices in their
+            # ``run`` field, not engine run ids — they are not part of
+            # any engine run's reconstruction.
+            continue
         if isinstance(event, RunStartEvent):
             if event.run in runs:
                 raise ReproError(f"duplicate run_start for run {event.run}")

@@ -78,21 +78,42 @@ class NoRetry(RetryPolicy):
 
 
 class FixedRetry(RetryPolicy):
-    """Up to ``max_attempts`` attempts with a constant backoff."""
+    """Up to ``max_attempts`` attempts with a constant backoff.
+
+    ``jitter`` spreads the constant delay by up to that fraction,
+    drawn from a seeded ``random.Random(seed)`` stream (deterministic,
+    like every RNG in this repository) — without it, many retriers
+    that failed together retry together, and a retry storm after a
+    worker kill re-synchronizes on every wave.
+    """
 
     def __init__(
         self,
         max_attempts: int = 3,
         delay: float = 0.0,
         budget: int | None = None,
+        jitter: float = 0.0,
+        seed: int = 0,
     ) -> None:
         super().__init__(max_attempts=max_attempts, budget=budget)
         if delay < 0:
             raise ReproError(f"delay must be >= 0, got {delay}")
+        if jitter < 0:
+            raise ReproError(f"jitter must be >= 0, got {jitter}")
         self.delay = delay
+        self.jitter = jitter
+        self._seed = seed
+        self._rng = random.Random(seed)
 
     def _delay(self, attempt: int) -> float:
-        return self.delay
+        delay = self.delay
+        if self.jitter:
+            delay *= 1.0 + self.jitter * self._rng.random()
+        return delay
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self._seed)
 
 
 class ExponentialBackoff(RetryPolicy):

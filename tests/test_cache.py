@@ -83,6 +83,75 @@ class TestConstructionCache:
         assert cache.get_or_build("k", (7,), lambda: "rebuilt") == "rebuilt"
 
 
+def _race_spill(args):
+    """One racing writer: spill ``payload`` under the shared key."""
+    disk_dir, tag = args
+    cache = ConstructionCache(maxsize=4, disk_dir=disk_dir)
+    cache.get_or_build("k", ("shared",), lambda: {"writer": tag, "data": [tag] * 500})
+    return tag
+
+
+class TestAtomicWrites:
+    def test_atomic_write_replaces_whole_file(self, tmp_path):
+        from repro.cache import atomic_write_bytes, atomic_write_text
+
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"first")
+        atomic_write_bytes(path, b"second")
+        assert path.read_bytes() == b"second"
+        atomic_write_text(tmp_path / "out.txt", "text\n")
+        assert (tmp_path / "out.txt").read_text() == "text\n"
+        # No stray temp files survive a successful commit.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bin", "out.txt"]
+
+    def test_failed_write_leaves_no_temp_and_old_content(self, tmp_path):
+        from repro.cache import atomic_write_bytes
+
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"old")
+
+        class Boom(Exception):
+            pass
+
+        import os as _os
+        real_replace = _os.replace
+
+        def exploding_replace(src, dst):
+            raise Boom("died at the rename boundary")
+
+        _os.replace = exploding_replace
+        try:
+            with pytest.raises(Boom):
+                atomic_write_bytes(path, b"new")
+        finally:
+            _os.replace = real_replace
+        assert path.read_bytes() == b"old"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_concurrent_writers_race_to_one_valid_pickle(self, tmp_path):
+        """Two processes spilling the same key at once: the loser's
+        rename wins or loses wholesale, never interleaves — the spill
+        file is always one of the two complete pickles."""
+        import pickle
+
+        from repro.experiments.parallel import _pool_context
+
+        ctx = _pool_context()
+        for round_id in range(3):
+            disk_dir = str(tmp_path / f"round{round_id}")
+            with ctx.Pool(processes=2) as pool:
+                pool.map(_race_spill, [(disk_dir, "a"), (disk_dir, "b")])
+            probe = ConstructionCache(maxsize=4, disk_dir=disk_dir)
+            spill = probe._disk_path(("k", ("shared",)))
+            value = pickle.loads(open(spill, "rb").read())
+            assert value["writer"] in ("a", "b")
+            assert value["data"] == [value["writer"]] * 500
+            # And a fresh cache can read it back through the front door.
+            assert probe.get_or_build(
+                "k", ("shared",), lambda: pytest.fail("should not rebuild")
+            ) == value
+
+
 class TestGlobalCache:
     def test_cached_uses_global_cache(self):
         assert cached("t", ("x",), lambda: 41) == 41

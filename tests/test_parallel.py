@@ -14,6 +14,7 @@ from repro.errors import ReproError
 from repro.experiments import (
     CellSpec,
     cell_specs,
+    default_jobs,
     dump_results,
     map_rows,
     run_all_parallel,
@@ -124,6 +125,27 @@ class TestErrorDegradation:
         for result in results:
             assert result.error
             assert result.error.split(":")[0].endswith("Error")
+
+
+class TestDefaultJobs:
+    def test_respects_affinity_mask(self):
+        import os
+
+        jobs = default_jobs()
+        assert jobs >= 1
+        if hasattr(os, "sched_getaffinity"):
+            # On Linux the default honors cgroup/affinity limits, which
+            # can be far below os.cpu_count() in containers.
+            assert jobs == len(os.sched_getaffinity(0))
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+
+        def unavailable(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr(os, "sched_getaffinity", unavailable, raising=False)
+        assert default_jobs() == (os.cpu_count() or 1)
 
 
 class TestMapRows:

@@ -158,6 +158,22 @@ class TestRetryPolicies:
         assert delays == [a.grant(k) for k in range(1, 4)]
         assert all(d is not None and d > 0 for d in delays)
 
+    def test_fixed_retry_jitter_is_seeded(self):
+        a = FixedRetry(max_attempts=6, delay=2.0, jitter=0.5, seed=9)
+        b = FixedRetry(max_attempts=6, delay=2.0, jitter=0.5, seed=9)
+        delays = [a.grant(k) for k in range(1, 5)]
+        # Same seed: the whole delay sequence reproduces, draw by draw.
+        assert delays == [b.grant(k) for k in range(1, 5)]
+        # Jitter spreads but never shrinks or exceeds the bound.
+        assert all(2.0 <= d <= 3.0 for d in delays)
+        assert len(set(delays)) > 1
+        # reset() rewinds the jitter stream along with the budget.
+        a.reset()
+        assert delays == [a.grant(k) for k in range(1, 5)]
+        # A different seed decorrelates the retriers.
+        c = FixedRetry(max_attempts=6, delay=2.0, jitter=0.5, seed=10)
+        assert delays != [c.grant(k) for k in range(1, 5)]
+
     @pytest.mark.parametrize("kwargs", [
         {"max_attempts": 0},
         {"base_delay": -1.0},
