@@ -81,7 +81,21 @@ def test_retry_latency_distribution(benchmark, tmp_path):
     snapshot = metrics.snapshot()
     delays = snapshot.get("campaign_retry_delay", {})
     benchmark.extra_info["retry_delays"] = delays
+    benchmark.extra_info["retry_delay_percentiles"] = metrics.histogram(
+        "campaign_retry_delay"
+    ).percentiles()
     benchmark.extra_info["worker_deaths"] = snapshot.get(
         "campaign_worker_deaths", 0
     )
+    # The full campaign_* counter family (started/done/retries/deaths)
+    # rides into BENCH_campaign.json so the history tracks supervision
+    # behavior, not just wall time.
+    benchmark.extra_info["campaign_counters"] = {
+        name: value
+        for name, value in snapshot.items()
+        if name.startswith("campaign_") and isinstance(value, int)
+    }
+    # Ambient metrics switch on the telemetry plane: worker registries
+    # merge back in, so engine-side counters are visible here too.
+    benchmark.extra_info["engine_faults"] = snapshot.get("faults", 0)
     assert delays.get("count", 0) >= 1

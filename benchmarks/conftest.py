@@ -9,11 +9,16 @@ pytest-benchmark table doubles as the reproduction report.
 At session end every ``bench_<name>.py`` module that ran gets its
 timings and extra info rolled up (``repro.obs.bench_rollup``) into a
 machine-readable ``BENCH_<name>.json`` at the repository root, so CI
-and ad-hoc runs leave comparable artifacts without extra flags.
+and ad-hoc runs leave comparable artifacts without extra flags. With
+``BENCH_HISTORY=PATH`` in the environment each rollup is additionally
+appended to that history journal (``repro.obs.benchwatch``), labeled
+by ``BENCH_LABEL`` when set — the hands-free way to grow the committed
+``BENCH_history.jsonl`` the regression sentinel gates on.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -34,8 +39,14 @@ def pytest_sessionfinish(session, exitstatus):
         if stem.startswith("bench_"):
             stem = stem[len("bench_"):]
         by_module.setdefault(stem, []).append(meta)
+    history = os.environ.get("BENCH_HISTORY")
     for name, metas in sorted(by_module.items()):
-        write_bench_json(name, bench_rollup(name, metas), root=_REPO_ROOT)
+        payload = bench_rollup(name, metas)
+        write_bench_json(name, payload, root=_REPO_ROOT)
+        if history:
+            from repro.obs.benchwatch import append_run
+
+            append_run(history, payload, label=os.environ.get("BENCH_LABEL"))
 
 
 def run_rows(benchmark, func, **kwargs):

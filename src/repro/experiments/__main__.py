@@ -29,18 +29,23 @@ checks are disk-independent and always gate.
 
 Observability flags (see ``repro.obs``):
 
-* ``--trace-out PATH`` streams every engine event (faults, block
+* ``--trace-out PATH`` records every engine event (faults, block
   reads, retries, fallbacks, evictions) to a JSONL file that
-  ``python -m repro.obs.replay`` can reconstruct and verify.
-* ``--metrics`` prints the aggregated metrics registry as JSON.
+  ``python -m repro.obs.replay`` can reconstruct and verify. Serial
+  runs stream it live; with ``--jobs`` or ``--campaign`` each worker
+  spools a per-cell shard and the parent merges them into one
+  deterministic trace (byte-identical across re-runs and job counts).
+* ``--metrics`` prints the aggregated metrics registry as JSON;
+  worker registries merge losslessly into the printed snapshot.
+* ``--metrics-out PATH`` writes that merged snapshot to a JSON file.
 * ``--progress`` prints one line per sweep cell with elapsed time/ETA.
 * ``--profile`` prints per-cell wall-clock timings as JSON.
 
 Performance flags:
 
 * ``--jobs N`` shards the sweep's cells over ``N`` worker processes
-  (results are bit-identical to serial; incompatible with the
-  per-process observability flags above).
+  (results are bit-identical to serial; ``--profile`` stays
+  per-process and is the one observability flag it excludes).
 * ``--no-cache`` disables the construction cache (every graph,
   blocking, and radius is rebuilt from scratch).
 * ``--cache-dir PATH`` persists cached constructions to disk so
@@ -54,8 +59,11 @@ Campaign flags (see ``repro.experiments.campaign``):
   death (kill/crash), hangs (with ``--cell-timeout``), and corrupted
   result handoffs are retried with backoff; a cell that exhausts
   ``--max-attempts`` degrades into an errored row without aborting
-  the sweep. ``--trace-out``/``--metrics`` are allowed here even with
-  ``--jobs`` — they record the parent's campaign-level events.
+  the sweep. ``--trace-out``/``--metrics`` ride the telemetry plane:
+  workers ship per-cell shards sealed before their result commits, and
+  the parent merges them into one replay-checkable trace and one
+  metrics registry (chaos retries included — only committed attempts
+  count).
 * ``--resume PATH`` picks a manifest back up after any interruption
   (even SIGKILL of the whole tree): completed cells are loaded from
   the journal, the rest re-run, and the merged output is
@@ -125,6 +133,13 @@ def main(argv: list[str] | None = None) -> int:
         "--metrics",
         action="store_true",
         help="aggregate engine metrics across the sweep and print them as JSON",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the merged metrics registry snapshot to this JSON file "
+        "(works serially, with --jobs, and with --campaign: worker "
+        "registries are merged losslessly into one)",
     )
     parser.add_argument(
         "--progress",
@@ -241,11 +256,10 @@ def main(argv: list[str] | None = None) -> int:
         ):
             if value:
                 parser.error(f"{flag} requires --campaign or --resume")
-        if args.jobs > 1 and (args.trace_out or args.metrics or args.profile):
+        if args.jobs > 1 and args.profile:
             parser.error(
-                "--jobs > 1 cannot be combined with --trace-out, --metrics, or "
-                "--profile: those hooks are ambient per process (run them "
-                "serially, under --campaign, or drop --jobs)"
+                "--jobs > 1 cannot be combined with --profile: the profiler "
+                "is ambient per process (run it serially or drop --jobs)"
             )
         if args.cells and args.profile:
             parser.error("--cells is not supported with --profile")
@@ -304,7 +318,12 @@ def main(argv: list[str] | None = None) -> int:
     profiler = None
     progress = None
     ambient = contextlib.nullcontext()
-    if args.trace_out or args.metrics:
+    # The telemetry plane (worker shards merged by the parent) carries
+    # --trace-out for campaigns and multi-process pools; a live ambient
+    # sink serves the single-process paths. Metrics always aggregate
+    # into one ambient registry — worker registries merge into it.
+    spooled_trace = bool(args.trace_out) and bool(campaign_path or args.jobs > 1)
+    if args.trace_out or args.metrics or args.metrics_out:
         from repro.obs import (
             Instrumentation,
             JsonlSink,
@@ -312,10 +331,17 @@ def main(argv: list[str] | None = None) -> int:
             use_instrumentation,
         )
 
-        sink = JsonlSink(args.trace_out) if args.trace_out else None
-        metrics = MetricsRegistry() if args.metrics else None
-        instr = Instrumentation(sink=sink, metrics=metrics)
-        ambient = use_instrumentation(instr)
+        sink = (
+            JsonlSink(args.trace_out)
+            if args.trace_out and not spooled_trace
+            else None
+        )
+        metrics = (
+            MetricsRegistry() if args.metrics or args.metrics_out else None
+        )
+        if sink is not None or metrics is not None:
+            instr = Instrumentation(sink=sink, metrics=metrics)
+            ambient = use_instrumentation(instr)
     if args.profile:
         from repro.obs import PhaseProfiler
 
@@ -356,6 +382,7 @@ def main(argv: list[str] | None = None) -> int:
                     "fault_seed": args.fault_seed,
                     "cells": cells,
                 },
+                trace_out=args.trace_out if spooled_trace else None,
             )
         elif args.jobs > 1 or cells is not None:
             from repro.experiments.parallel import run_all_parallel
@@ -366,6 +393,7 @@ def main(argv: list[str] | None = None) -> int:
                 reliability=reliability,
                 progress=progress,
                 names=cells,
+                trace_out=args.trace_out if spooled_trace else None,
             )
         else:
             games, checks = run_all(
@@ -376,12 +404,17 @@ def main(argv: list[str] | None = None) -> int:
             )
     if instr is not None:
         instr.close()
-        if args.trace_out:
-            print(f"event trace written to {args.trace_out}\n")
-        if args.metrics:
-            print("== Metrics ==\n")
-            print(instr.metrics.to_json())
-            print()
+    if args.trace_out:
+        print(f"event trace written to {args.trace_out}\n")
+    if args.metrics:
+        print("== Metrics ==\n")
+        print(instr.metrics.to_json())
+        print()
+    if args.metrics_out:
+        from repro.cache import atomic_write_text
+
+        atomic_write_text(args.metrics_out, instr.metrics.to_json() + "\n")
+        print(f"metrics snapshot written to {args.metrics_out}\n")
     if profiler is not None:
         print("== Phase timings ==\n")
         print(profiler.to_json())

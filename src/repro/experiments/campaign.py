@@ -29,7 +29,15 @@ rather than a pool task:
   ``worker_died`` / ``cell_finished`` / ``campaign_resumed``) plus
   metrics counters, and the :mod:`~repro.experiments.chaos` harness
   injects worker kills, straggler delays, and spill corruption so all
-  of the above is itself tested.
+  of the above is itself tested;
+* with ``trace_out=`` (CLI ``--trace-out``) or an ambient metrics
+  registry installed, the telemetry plane (:mod:`repro.obs.spans`)
+  ships per-worker shards: each attempt records its engine events and
+  metrics next to its result spill, sealed *before* the result is
+  committed, and the parent folds the committed shards into one
+  deterministic merged trace (``replay --check``-clean,
+  byte-identical across re-runs and ``jobs`` counts) and one merged
+  metrics registry.
 
 Because cells are deterministic and results are journaled in the
 stable wire form of :mod:`repro.experiments.io`, a campaign's merged
@@ -58,6 +66,7 @@ from repro.experiments.manifest import (
     Manifest,
     ManifestWriter,
     load_manifest,
+    sweep_digest,
 )
 from repro.experiments.parallel import _pool_context
 from repro.experiments.table1 import CellSpec, cell_specs, run_cell
@@ -66,8 +75,11 @@ from repro.obs import (
     CellEndEvent,
     CellRetryEvent,
     CellStartEvent,
+    ShardRef,
     WorkerDeathEvent,
     current_instrumentation,
+    merge_shard_metrics,
+    merge_shards,
 )
 from repro.reliability import ExponentialBackoff, ReliabilityConfig, RetryPolicy
 
@@ -90,24 +102,40 @@ class _WorkerTask:
     attempt: int
     result_path: str
     chaos: ChaosConfig | None
+    telemetry: bool = False
 
 
 def _cell_worker(task: _WorkerTask) -> None:
     """Run one cell attempt and commit its results atomically.
 
-    Runs in a (usually forked) child process. The ambient
-    instrumentation hook is cleared first: the parent's trace sink owns
-    an open file handle that must not receive interleaved writes from
-    many children — campaign traces carry orchestration events from the
-    parent, and workers run silent (same contract as ``--jobs``).
+    Runs in a (usually forked) child process. The parent's ambient
+    instrumentation is never reused here: its trace sink owns an open
+    file handle that must not receive interleaved writes from many
+    children. Without telemetry the worker runs silent (the original
+    contract); with it, the worker records into its *own* per-attempt
+    shard (:class:`~repro.obs.spans.ShardRecorder`) next to the result
+    spill. The shard is sealed — footer appended, metrics committed —
+    *before* the result spill is renamed into place, so a committed
+    result implies complete telemetry: the same happens-before edge the
+    campaign journal relies on.
     """
-    from repro.obs import use_instrumentation
+    from repro.obs import ShardRecorder, shard_paths, use_instrumentation
 
-    with use_instrumentation(None):
+    recorder = None
+    if task.telemetry:
+        trace_path, metrics_path = shard_paths(
+            Path(task.result_path).parent, task.index, task.attempt
+        )
+        recorder = ShardRecorder(trace_path, metrics_path)
+    with use_instrumentation(
+        recorder.instrumentation if recorder is not None else None
+    ):
         chaos = ChaosController(task.chaos) if task.chaos is not None else None
         if chaos is not None:
             chaos.before_cell(task.index, task.attempt)
         out = run_cell(task.spec)
+        if recorder is not None:
+            recorder.close()  # telemetry commits strictly before the result
         atomic_write_bytes(
             task.result_path, pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
         )
@@ -172,6 +200,7 @@ def run_campaign(
     retry_sleep_scale: float = 0.0,
     progress: "Callable[[int, int, str], None] | None" = None,
     meta: Mapping[str, Any] | None = None,
+    trace_out: str | Path | None = None,
 ) -> tuple[list[ExperimentResult], list[CheckResult]]:
     """Run (or resume) the Table 1 sweep as a crash-safe campaign.
 
@@ -199,6 +228,16 @@ def run_campaign(
             cell, completed-on-resume cells included.
         meta: extra JSON-able data stored in a fresh manifest's header
             (the CLI records its flags here for ``--resume``).
+        trace_out: write the campaign's *merged engine trace* here. Each
+            worker records its cell into a per-attempt shard next to its
+            result spill; after the last cell the shards of committed
+            attempts are folded — in cell-index order, engine run ids
+            renumbered globally — into one JSONL trace that ``python -m
+            repro.obs.replay --check`` verifies and that is
+            byte-identical across re-runs, ``jobs`` counts, and
+            chaos-induced retries. Metrics shards are merged the same
+            way into the ambient registry (shard shipping also turns on
+            when an ambient registry is installed without ``trace_out``).
 
     Returns:
         ``(games, checks)`` merged in spec order. Cells that exhausted
@@ -265,6 +304,14 @@ def run_campaign(
     ctx = _pool_context()
     active: list[_Active] = []
     done = len(results)
+    # Shard shipping: on when the caller wants a merged trace, or when
+    # an ambient metrics registry is installed (the workers' registries
+    # fold back into it). Cells completed on a previous run — resumed
+    # from the journal, their shards long gone — stay as placeholder
+    # refs the merge marks incomplete rather than failing.
+    _, ambient_metrics = _obs()
+    telemetry = trace_out is not None or ambient_metrics is not None
+    shards: dict[int, ShardRef] = {}
 
     def finish(index: int, name: str) -> None:
         nonlocal done
@@ -346,6 +393,13 @@ def run_campaign(
                 except OSError:
                     pass
             results[job.index] = out
+            if telemetry:
+                # Only the committed attempt's shard is merged; earlier
+                # (killed, corrupted) attempts left torn files behind
+                # that are swept with the workdir.
+                shards[job.index] = ShardRef.locate(
+                    workdir, job.index, spec.name, job.attempt
+                )
             writer.cell_done(job.index, spec.name, job.attempt, out, spec.kind)
             _emit(
                 CellEndEvent(
@@ -389,6 +443,7 @@ def run_campaign(
                 attempt=attempt,
                 result_path=str(result_path),
                 chaos=chaos,
+                telemetry=telemetry,
             )
             proc = ctx.Process(target=_cell_worker, args=(task,), daemon=True)
             proc.start()
@@ -441,6 +496,38 @@ def run_campaign(
             else:
                 still_active.append(job)
         active = still_active
+
+    if telemetry:
+        refs = [
+            shards.get(
+                index,
+                ShardRef(
+                    index=index,
+                    name=spec.name,
+                    attempt=0,
+                    trace_path=None,
+                    metrics_path=None,
+                ),
+            )
+            for index, spec in enumerate(specs)
+        ]
+        sweep = sweep_digest(specs)
+        if trace_out is not None:
+            report = merge_shards(trace_out, refs, sweep)
+            _count("campaign_trace_cells", report.cells)
+            _count("campaign_trace_events", report.events)
+            if report.dropped:
+                _count("campaign_trace_events_dropped", report.dropped)
+        if ambient_metrics is not None:
+            merge_shard_metrics(ambient_metrics, refs)
+        # Sweep every shard file — committed and torn alike — so the
+        # workdir can be removed like any fully-reaped campaign's.
+        for pattern in ("cell-*.trace.jsonl", "cell-*.metrics.json"):
+            for stale in workdir.glob(pattern):
+                try:
+                    os.unlink(stale)
+                except OSError:
+                    pass
 
     try:
         os.rmdir(workdir)  # only if no spills remain

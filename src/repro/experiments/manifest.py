@@ -82,6 +82,29 @@ def _describe(value: Any) -> Any:
     return {"__type__": type(value).__qualname__, **attrs}
 
 
+def sweep_digest(specs: Sequence[CellSpec]) -> str:
+    """A content hash pinning the whole sweep: cell order, names,
+    kinds, and per-cell fingerprints.
+
+    Unlike a campaign id (which embeds run-time entropy so two starts
+    of the same sweep are distinguishable), the sweep digest is a pure
+    function of the specs — the telemetry plane keys its span ids on it
+    so the same sweep yields the same causality ids on every run.
+    """
+    cells = [
+        {
+            "index": index,
+            "name": spec.name,
+            "kind": spec.kind,
+            "fingerprint": spec_fingerprint(spec),
+        }
+        for index, spec in enumerate(specs)
+    ]
+    return hashlib.sha256(
+        json.dumps(cells, sort_keys=True).encode()
+    ).hexdigest()[:12]
+
+
 def spec_fingerprint(spec: CellSpec) -> str:
     """A content hash pinning one cell's identity across processes."""
     canonical = json.dumps(
@@ -269,10 +292,7 @@ class ManifestWriter:
             }
             for index, spec in enumerate(specs)
         ]
-        digest = hashlib.sha256(
-            json.dumps(cells, sort_keys=True).encode()
-        ).hexdigest()[:12]
-        campaign_id = f"campaign-{digest}-{os.urandom(4).hex()}"
+        campaign_id = f"campaign-{sweep_digest(specs)}-{os.urandom(4).hex()}"
         writer.append(
             {
                 "record": "campaign",

@@ -20,20 +20,37 @@ does inline, and its siblings are untouched.
 
 Workers are forked where the platform allows it, so constructions
 already in the parent's cache (:mod:`repro.cache`) are inherited for
-free. Tracing/metrics hooks are ambient per process and cannot span a
-pool — the CLI rejects ``--jobs`` combined with ``--trace-out``,
-``--metrics``, or ``--profile``.
+free. Ambient tracing/metrics hooks cannot span a pool directly — a
+sink's open file handle must not receive interleaved writes from many
+processes — so ``trace_out=`` (CLI ``--jobs N --trace-out``) routes
+through the telemetry plane instead: each worker records its cell into
+a private shard in a spool directory, and the parent folds the shards
+into one merged trace and metrics registry (:mod:`repro.obs.spans`),
+byte-identical to what a serial run would have recorded. ``--profile``
+remains per-process ambient and still excludes ``--jobs``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import tempfile
+from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ReproError
 from repro.experiments.harness import CheckResult, ExperimentResult
 from repro.experiments.table1 import CellSpec, cell_specs, run_cell
+from repro.obs import (
+    ShardRecorder,
+    ShardRef,
+    current_instrumentation,
+    merge_shard_metrics,
+    merge_shards,
+    shard_paths,
+    use_instrumentation,
+)
 from repro.reliability import ReliabilityConfig
 
 
@@ -46,12 +63,31 @@ def _pool_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context()
 
 
+def _shard_cell(
+    task: tuple[CellSpec, int, str],
+) -> list[ExperimentResult] | list[CheckResult]:
+    """Run one cell with its engine events and metrics spooled to a
+    per-cell shard (the pool-worker side of the telemetry plane).
+
+    The :class:`~repro.obs.spans.ShardRecorder` made ambient here
+    shadows whatever instrumentation the worker inherited from the
+    forked parent, so the parent's open sink handle never sees
+    interleaved writes.
+    """
+    spec, index, spool = task
+    trace_path, metrics_path = shard_paths(spool, index, 1)
+    with ShardRecorder(trace_path, metrics_path) as recorder:
+        with use_instrumentation(recorder.instrumentation):
+            return run_cell(spec)
+
+
 def run_all_parallel(
     quick: bool = False,
     jobs: int = 2,
     reliability: ReliabilityConfig | None = None,
     progress: "Callable[[int, int, str], None] | None" = None,
     names: Sequence[str] | None = None,
+    trace_out: str | Path | None = None,
 ) -> tuple[list[ExperimentResult], list[CheckResult]]:
     """Run the Table 1 sweep with cells sharded over ``jobs`` processes.
 
@@ -62,6 +98,14 @@ def run_all_parallel(
     results are self-contained. ``names`` restricts the sweep to a
     subset of cells (mostly for tests).
 
+    ``trace_out`` records every cell's engine events through the
+    telemetry plane — per-worker shards in a temporary spool, folded
+    into one merged JSONL trace (``replay --check``-clean, run ids
+    globally renumbered, byte-identical across ``jobs`` counts). With
+    an ambient metrics registry installed, the workers' registries are
+    folded into it the same way whenever the sweep spools (always under
+    ``trace_out``; in the pool path otherwise).
+
     ``jobs <= 1`` degenerates to an in-process loop over the same
     specs, so callers can wire a ``--jobs`` flag straight through.
     """
@@ -69,25 +113,54 @@ def run_all_parallel(
         raise ReproError(f"jobs must be >= 1, got {jobs}")
     specs = cell_specs(quick=quick, reliability=reliability, names=names)
     total = len(specs)
+    instr = current_instrumentation()
+    ambient_metrics = getattr(instr, "metrics", None) if instr is not None else None
+    pooled = jobs > 1 and total > 1
+    telemetry = trace_out is not None or (pooled and ambient_metrics is not None)
+    spool = Path(tempfile.mkdtemp(prefix="repro-shards-")) if telemetry else None
     outputs: list[list[ExperimentResult] | list[CheckResult]]
-    if jobs == 1 or total <= 1:
-        outputs = []
-        for done, spec in enumerate(specs, start=1):
-            outputs.append(run_cell(spec))
-            if progress is not None:
-                progress(done, total, spec.name)
-    else:
-        ctx = _pool_context()
-        with ctx.Pool(processes=min(jobs, total)) as pool:
+    try:
+        if not pooled:
             outputs = []
-            # Ordered imap: results arrive (and report progress) in
-            # spec order while cells execute out of order in the pool.
-            for done, out in enumerate(
-                pool.imap(run_cell, specs, chunksize=1), start=1
-            ):
-                outputs.append(out)
+            for done, spec in enumerate(specs, start=1):
+                if spool is not None:
+                    outputs.append(_shard_cell((spec, done - 1, str(spool))))
+                else:
+                    outputs.append(run_cell(spec))
                 if progress is not None:
-                    progress(done, total, specs[done - 1].name)
+                    progress(done, total, spec.name)
+        else:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(jobs, total)) as pool:
+                outputs = []
+                # Ordered imap: results arrive (and report progress) in
+                # spec order while cells execute out of order in the pool.
+                worker: Any = _shard_cell if spool is not None else run_cell
+                tasks: Any = (
+                    [(spec, index, str(spool)) for index, spec in enumerate(specs)]
+                    if spool is not None
+                    else specs
+                )
+                for done, out in enumerate(
+                    pool.imap(worker, tasks, chunksize=1), start=1
+                ):
+                    outputs.append(out)
+                    if progress is not None:
+                        progress(done, total, specs[done - 1].name)
+        if spool is not None:
+            from repro.experiments.manifest import sweep_digest
+
+            refs = [
+                ShardRef.locate(spool, index, spec.name, 1)
+                for index, spec in enumerate(specs)
+            ]
+            if trace_out is not None:
+                merge_shards(trace_out, refs, sweep_digest(specs))
+            if ambient_metrics is not None:
+                merge_shard_metrics(ambient_metrics, refs)
+    finally:
+        if spool is not None:
+            shutil.rmtree(spool, ignore_errors=True)
     games: list[ExperimentResult] = []
     checks: list[CheckResult] = []
     for spec, out in zip(specs, outputs):

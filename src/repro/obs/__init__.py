@@ -45,8 +45,10 @@ from repro.obs.events import (
     RetryEvent,
     RunEndEvent,
     RunStartEvent,
+    ShardMergedEvent,
     StepEvent,
     TraceEvent,
+    TraceFooterEvent,
     WorkerDeathEvent,
     event_from_dict,
 )
@@ -89,6 +91,16 @@ from repro.obs.sinks import (
     TraceSink,
     read_jsonl,
 )
+from repro.obs.spans import (
+    MergeReport,
+    ShardRecorder,
+    ShardRef,
+    merge_shard_metrics,
+    merge_shards,
+    read_shard,
+    shard_paths,
+    span_id,
+)
 
 __all__ = [
     "EVENT_TYPES",
@@ -112,6 +124,7 @@ __all__ = [
     "JsonlSink",
     "LabeledCounter",
     "LegacyOnFaultAdapter",
+    "MergeReport",
     "MetricsRegistry",
     "NullSink",
     "PhaseProfiler",
@@ -120,9 +133,13 @@ __all__ = [
     "RingBufferSink",
     "RunEndEvent",
     "RunStartEvent",
+    "ShardMergedEvent",
+    "ShardRecorder",
+    "ShardRef",
     "StepEvent",
     "SweepProgress",
     "TraceEvent",
+    "TraceFooterEvent",
     "TraceSink",
     "WorkerDeathEvent",
     "bench_rollup",
@@ -133,9 +150,14 @@ __all__ = [
     "event_from_dict",
     "fault_timeline",
     "gap_histogram_ascii",
+    "merge_shard_metrics",
+    "merge_shards",
     "read_jsonl",
+    "read_shard",
     "replay_events",
     "replay_file",
+    "shard_paths",
+    "span_id",
     "use_instrumentation",
     "verify_run",
     "write_bench_json",

@@ -13,7 +13,11 @@ adds five orchestration-level kinds on top — ``cell_started``,
 ``cell_finished``, ``cell_retried``, ``worker_died``, and
 ``campaign_resumed`` — all subclasses of :class:`CampaignEvent`. They
 share the wire form but describe worker supervision rather than game
-moves; replay skips them when reconstructing engine runs.
+moves; replay skips them when reconstructing engine runs. The
+telemetry plane (:mod:`repro.obs.spans`) adds two more:
+``shard_merged`` (the causality record linking a cell to its engine
+runs in a merged campaign trace) and ``trace_footer`` (the closing
+completeness statement of any finished trace).
 
 Events are plain frozen dataclasses with a stable wire form
 (:meth:`TraceEvent.to_dict` / :func:`event_from_dict`): one JSON object
@@ -283,6 +287,49 @@ class CampaignResumeEvent(CampaignEvent):
     pending: int
 
 
+@dataclass(frozen=True)
+class ShardMergedEvent(CampaignEvent):
+    """One worker's trace shard was folded into a merged campaign trace.
+
+    The causality link of the telemetry plane: ``run`` is the cell's
+    sweep index, ``span`` is the deterministic ``sweep/index/attempt``
+    id, and the engine events that follow (until the next shard) carry
+    globally renumbered run ids in ``[run_base, run_base + runs)``.
+    ``events`` counts the shard's engine events, ``dropped`` the events
+    its worker-side sink discarded (ring wrap), and ``complete`` is
+    False when the shard file was missing or torn — a merged trace
+    states its own completeness.
+    """
+
+    kind: ClassVar[str] = "shard_merged"
+
+    cell: str
+    attempt: int
+    span: str
+    run_base: int
+    runs: int
+    events: int
+    dropped: int
+    complete: bool = True
+
+
+@dataclass(frozen=True)
+class TraceFooterEvent(CampaignEvent):
+    """The last event of a finished trace (shard or merged campaign).
+
+    ``events_emitted`` is the number of events written before this
+    footer; ``events_dropped`` the number the sink discarded (a
+    :class:`~repro.obs.sinks.RingBufferSink` wrapping, for example).
+    A reader finding fewer events than the footer declares — or no
+    footer at all — knows the trace is torn rather than short.
+    """
+
+    kind: ClassVar[str] = "trace_footer"
+
+    events_emitted: int
+    events_dropped: int = 0
+
+
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.kind: cls
     for cls in (
@@ -299,6 +346,8 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         CellRetryEvent,
         WorkerDeathEvent,
         CampaignResumeEvent,
+        ShardMergedEvent,
+        TraceFooterEvent,
     )
 }
 

@@ -15,12 +15,43 @@ Instruments:
 * :class:`Histogram` — exact value->occurrences map plus running
   min/max/sum (fault gaps, working-set samples). Exact counting is
   affordable because the observed values are small ints.
+
+Every instrument is **mergeable**: counters and histograms add, gauges
+keep the most recently merged write, labeled counters add per key.
+That makes a registry a CRDT-ish aggregate across processes — campaign
+and pool workers dump :meth:`MetricsRegistry.to_wire` next to their
+result spill, and the parent folds the shards back together with
+:meth:`MetricsRegistry.merge_wire` (the telemetry plane of
+:mod:`repro.obs.spans`). The wire form tags every instrument with its
+kind and preserves numeric key types exactly, so a merged snapshot is
+indistinguishable from one recorded in a single process.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Hashable
+from typing import Any, Hashable, Mapping, Sequence
+
+from repro.errors import ReproError
+
+METRICS_WIRE_SCHEMA = 1
+
+
+def _wire_key(key: Any) -> Any:
+    """A labeled-counter key in wire form (tuples become lists)."""
+    if isinstance(key, tuple):
+        return [_wire_key(k) for k in key]
+    if isinstance(key, (int, float, str, bool)) or key is None:
+        return key
+    return str(key)
+
+
+def _unwire_key(key: Any) -> Hashable:
+    """Undo :func:`_wire_key` (lists back to tuples, recursively)."""
+    if isinstance(key, list):
+        return tuple(_unwire_key(k) for k in key)
+    result: Hashable = key
+    return result
 
 
 class Counter:
@@ -36,8 +67,18 @@ class Counter:
             raise ValueError(f"counters only go up, got {amount}")
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter in (counts add)."""
+        self.value += other.value
+
     def snapshot(self) -> int:
         return self.value
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"kind": "counter", "value": self.value}
+
+    def merge_wire(self, payload: Mapping[str, Any]) -> None:
+        self.inc(int(payload["value"]))
 
 
 class Gauge:
@@ -51,8 +92,26 @@ class Gauge:
     def set(self, value: float) -> None:
         self.value = value
 
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in: the merged write wins (unless unset).
+
+        Across processes "most recent" is merge order — the campaign
+        merges shards in cell order, so the last cell's write survives,
+        mirroring what a single-process sweep would have left behind.
+        """
+        if other.value is not None:
+            self.value = other.value
+
     def snapshot(self) -> float | None:
         return self.value
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"kind": "gauge", "value": self.value}
+
+    def merge_wire(self, payload: Mapping[str, Any]) -> None:
+        value = payload["value"]
+        if value is not None:
+            self.set(value)
 
 
 class LabeledCounter:
@@ -66,12 +125,32 @@ class LabeledCounter:
     def inc(self, key: Hashable, amount: int = 1) -> None:
         self.counts[key] = self.counts.get(key, 0) + amount
 
+    def merge(self, other: "LabeledCounter") -> None:
+        """Fold another labeled counter in (per-key counts add)."""
+        for key, amount in other.counts.items():
+            self.inc(key, amount)
+
     def top(self, n: int = 10) -> list[tuple[Hashable, int]]:
         """The ``n`` hottest keys, descending."""
         return sorted(self.counts.items(), key=lambda kv: (-kv[1], str(kv[0])))[:n]
 
     def snapshot(self) -> dict[str, int]:
         return {str(k): v for k, v in sorted(self.counts.items(), key=lambda kv: str(kv[0]))}
+
+    def to_wire(self) -> dict[str, Any]:
+        # Pairs, not a dict: tuple keys (block ids) must survive the
+        # round-trip as tuples, and JSON objects would stringify them.
+        return {
+            "kind": "labeled_counter",
+            "counts": [
+                [_wire_key(k), v]
+                for k, v in sorted(self.counts.items(), key=lambda kv: str(kv[0]))
+            ],
+        }
+
+    def merge_wire(self, payload: Mapping[str, Any]) -> None:
+        for key, amount in payload["counts"]:
+            self.inc(_unwire_key(key), int(amount))
 
 
 class Histogram:
@@ -99,6 +178,48 @@ class Histogram:
     def mean(self) -> float | None:
         return self.total / self.count if self.count else None
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in — exact counting makes this lossless
+        (value counts add; min/max/sum/count recombine)."""
+        for value, occurrences in other.counts.items():
+            self.counts[value] = self.counts.get(value, 0) + occurrences
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None and (
+            self.minimum is None or other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if other.maximum is not None and (
+            self.maximum is None or other.maximum > self.maximum
+        ):
+            self.maximum = other.maximum
+
+    def percentile(self, q: float) -> float | None:
+        """The exact ``q``-th percentile (nearest-rank on the value
+        counts; ``q`` in [0, 100]). ``None`` before any observation.
+
+        Exact counting means this is the true order statistic, not a
+        bucket estimate — the latency/throughput summaries the ops
+        report prints come straight from here.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return None
+        rank = max(1, -(-int(q * self.count) // 100))  # ceil(q/100 * n)
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= rank:
+                return value
+        return self.maximum
+
+    def percentiles(
+        self, qs: Sequence[float] = (50.0, 90.0, 99.0)
+    ) -> dict[str, float | None]:
+        """Several percentiles at once, keyed ``"p50"``-style."""
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -108,6 +229,25 @@ class Histogram:
             "mean": self.mean,
             "values": {str(k): v for k, v in sorted(self.counts.items())},
         }
+
+    def to_wire(self) -> dict[str, Any]:
+        # Value/count pairs keep int observations as ints through JSON,
+        # so a merged snapshot's "values" keys print identically to a
+        # single-process registry's.
+        return {
+            "kind": "histogram",
+            "counts": [[k, v] for k, v in sorted(self.counts.items())],
+        }
+
+    def merge_wire(self, payload: Mapping[str, Any]) -> None:
+        for value, occurrences in payload["counts"]:
+            self.counts[value] = self.counts.get(value, 0) + int(occurrences)
+            self.count += int(occurrences)
+            self.total += value * int(occurrences)
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
 
 
 class MetricsRegistry:
@@ -144,12 +284,68 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in, instrument by instrument.
+
+        Names present in both must hold the same instrument kind
+        (:class:`TypeError` otherwise, same contract as ``_get``);
+        names only in ``other`` are created here.
+        """
+        for name, instrument in sorted(other._instruments.items()):
+            self._get(name, type(instrument)).merge(instrument)
+
     def snapshot(self) -> dict[str, Any]:
         """All instruments as plain JSON-ready values, sorted by name."""
         return {
             name: instrument.snapshot()
             for name, instrument in sorted(self._instruments.items())
         }
+
+    def to_wire(self) -> dict[str, Any]:
+        """The lossless, kind-tagged form :meth:`merge_wire` consumes.
+
+        Unlike :meth:`snapshot` (which is for humans and rollups), the
+        wire form preserves instrument kinds and numeric key types, so
+        a registry shipped through JSON merges exactly — this is what
+        campaign/pool workers write next to their result spill.
+        """
+        return {
+            "schema": METRICS_WIRE_SCHEMA,
+            "metrics": {
+                name: instrument.to_wire()
+                for name, instrument in sorted(self._instruments.items())
+            },
+        }
+
+    def merge_wire(self, payload: Mapping[str, Any]) -> None:
+        """Fold a :meth:`to_wire` payload (e.g. a worker's metrics
+        shard) into this registry."""
+        schema = payload.get("schema")
+        if schema != METRICS_WIRE_SCHEMA:
+            raise ReproError(
+                f"unsupported metrics wire schema {schema!r}; "
+                f"expected {METRICS_WIRE_SCHEMA}"
+            )
+        kinds: dict[str, type[Any]] = {
+            "counter": Counter,
+            "gauge": Gauge,
+            "labeled_counter": LabeledCounter,
+            "histogram": Histogram,
+        }
+        for name, wire in sorted(payload["metrics"].items()):
+            cls = kinds.get(wire.get("kind"))
+            if cls is None:
+                raise ReproError(
+                    f"unknown metric kind {wire.get('kind')!r} for {name!r}"
+                )
+            self._get(name, cls).merge_wire(wire)
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "MetricsRegistry":
+        """A fresh registry rebuilt from a :meth:`to_wire` payload."""
+        registry = cls()
+        registry.merge_wire(payload)
+        return registry
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -1,0 +1,513 @@
+"""The campaign ops report: one merged campaign, rendered for humans.
+
+A finished campaign leaves three artifacts — the journaled manifest
+(``--campaign PATH``), the merged engine trace (``--trace-out``), and
+the merged metrics snapshot (``--metrics-out``). ``python -m
+repro.obs.report`` folds whichever of them exist into one markdown (or
+HTML) ops report:
+
+* **cell table** — per cell: terminal status, committed attempt, runs,
+  engine events, faults, and the fault-gap latency percentiles
+  (p50/p90/p99 steps between faults — the modeled-time latency
+  distribution of the search itself);
+* **supervision breakdown** — retry reasons the parent journaled
+  (killed / crashed / timeout / corrupt-result) next to the *engine*
+  retry outcomes recorded inside the runs (transient / corrupt /
+  lost), so simulated disk faults and aggregated process faults stay
+  visibly distinct accountings (see ``docs/paper_map``);
+* **block heat** — fault-serviced reads per block id, the heatmap data
+  (hottest blocks first; full data embedded as JSON in the HTML form);
+* **metrics summary** — counters and histogram percentiles from the
+  merged registry snapshot.
+
+The manifest is parsed directly as JSONL here (same wire form
+``repro.experiments.manifest`` writes) — ``repro.obs`` stays a layer
+below ``repro.experiments`` and imports nothing from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.obs.events import (
+    BlockReadEvent,
+    FaultEvent,
+    RetryEvent,
+    RunStartEvent,
+    ShardMergedEvent,
+    TraceEvent,
+    TraceFooterEvent,
+)
+from repro.obs.metrics import Histogram
+from repro.obs.sinks import read_jsonl
+
+
+class ReportError(ReproError):
+    """Unreadable or inconsistent campaign artifacts."""
+
+
+# ---------------------------------------------------------------------------
+# Artifact loading.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CellSummary:
+    """Everything the report knows about one campaign cell."""
+
+    index: int
+    name: str
+    kind: str = "game"
+    status: str = "unknown"
+    attempt: int = 0
+    error: str | None = None
+    retry_reasons: dict[str, int] = field(default_factory=dict)
+    # From the merged trace:
+    runs: int = 0
+    events: int = 0
+    dropped: int = 0
+    complete: bool | None = None
+    span: str | None = None
+    faults: int = 0
+    gap_hist: Histogram = field(default_factory=Histogram)
+    retry_outcomes: dict[str, int] = field(default_factory=dict)
+    block_reads: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class CampaignReport:
+    """The folded view of manifest + merged trace + metrics."""
+
+    campaign_id: str = ""
+    meta: dict[str, Any] = field(default_factory=dict)
+    cells: dict[int, CellSummary] = field(default_factory=dict)
+    resumes: int = 0
+    footer: TraceFooterEvent | None = None
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def cell(self, index: int, name: str = "?") -> CellSummary:
+        summary = self.cells.get(index)
+        if summary is None:
+            summary = self.cells[index] = CellSummary(index=index, name=name)
+        return summary
+
+    def ordered_cells(self) -> list[CellSummary]:
+        return [self.cells[i] for i in sorted(self.cells)]
+
+
+def _parse_jsonl(path: Path) -> list[dict[str, Any]]:
+    """JSONL records, tolerating a torn trailing line."""
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ReportError(f"cannot read {path}: {exc}") from exc
+    lines = raw.splitlines()
+    records: list[dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                break
+            raise ReportError(f"{path} is corrupt at line {lineno}: {exc}") from exc
+    return records
+
+
+def fold_manifest(report: CampaignReport, path: str | Path) -> None:
+    """Fold a campaign manifest journal into the report.
+
+    Reads the same wire form ``repro.experiments.manifest`` commits,
+    parsed directly — the report lives in the observability layer and
+    must not import the experiments package.
+    """
+    records = _parse_jsonl(Path(path))
+    if not records or records[0].get("record") != "campaign":
+        raise ReportError(f"{path} does not start with a campaign header")
+    header = records[0]
+    report.campaign_id = str(header.get("campaign_id", ""))
+    report.meta = dict(header.get("meta", {}))
+    for spec in header.get("cells", []):
+        summary = report.cell(int(spec["index"]), str(spec["name"]))
+        summary.name = str(spec["name"])
+        summary.kind = str(spec.get("kind", "game"))
+        summary.status = "pending"
+    for record in records[1:]:
+        kind = record.get("record")
+        if kind == "resume":
+            report.resumes += 1
+            continue
+        if kind != "cell":
+            continue
+        summary = report.cell(int(record["index"]), str(record.get("name", "?")))
+        status = str(record["status"])
+        summary.attempt = int(record.get("attempt", summary.attempt))
+        if status == "retrying":
+            reason = str(record.get("error", "unknown"))
+            summary.retry_reasons[reason] = summary.retry_reasons.get(reason, 0) + 1
+        else:
+            summary.status = status
+            summary.error = record.get("error")
+
+
+def fold_trace(report: CampaignReport, path: str | Path) -> None:
+    """Fold a merged campaign trace into the report: per-cell engine
+    activity keyed by the ``shard_merged`` causality records."""
+    current: CellSummary | None = None
+    for event in read_jsonl(path):
+        if isinstance(event, ShardMergedEvent):
+            current = report.cell(event.run, event.cell)
+            current.runs = event.runs
+            current.events = event.events
+            current.dropped = event.dropped
+            current.complete = event.complete
+            current.span = event.span
+            if current.attempt == 0:
+                current.attempt = event.attempt
+            continue
+        if isinstance(event, TraceFooterEvent):
+            report.footer = event
+            current = None
+            continue
+        if current is None or isinstance(event, RunStartEvent):
+            continue
+        _fold_engine_event(current, event)
+
+
+def _fold_engine_event(summary: CellSummary, event: TraceEvent) -> None:
+    if isinstance(event, FaultEvent):
+        summary.faults += 1
+        summary.gap_hist.observe(float(event.gap))
+    elif isinstance(event, BlockReadEvent):
+        key = str(event.block_id)
+        summary.block_reads[key] = summary.block_reads.get(key, 0) + 1
+    elif isinstance(event, RetryEvent):
+        summary.retry_outcomes[event.outcome] = (
+            summary.retry_outcomes.get(event.outcome, 0) + 1
+        )
+
+
+def fold_metrics(report: CampaignReport, path: str | Path) -> None:
+    """Attach a merged metrics snapshot (``--metrics-out`` JSON)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReportError(f"cannot read metrics snapshot {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReportError(f"{path}: metrics snapshot is not an object")
+    report.metrics = payload
+
+
+def load_report(
+    manifest: str | Path | None = None,
+    trace: str | Path | None = None,
+    metrics: str | Path | None = None,
+) -> CampaignReport:
+    """Fold whichever campaign artifacts exist into one report."""
+    if manifest is None and trace is None and metrics is None:
+        raise ReportError("nothing to report: no manifest, trace, or metrics")
+    report = CampaignReport()
+    if manifest is not None:
+        fold_manifest(report, manifest)
+    if trace is not None:
+        fold_trace(report, trace)
+    if metrics is not None:
+        fold_metrics(report, metrics)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Rendering.
+# ---------------------------------------------------------------------------
+
+
+def _pct(hist: Histogram, q: float) -> str:
+    value = hist.percentile(q)
+    return "—" if value is None else f"{value:g}"
+
+
+def render_markdown(report: CampaignReport, top_blocks: int = 10) -> str:
+    """The full ops report as GitHub markdown."""
+    out: list[str] = ["# Campaign ops report", ""]
+    if report.campaign_id:
+        out.append(f"Campaign `{report.campaign_id}`")
+        if report.resumes:
+            out.append(f"(resumed {report.resumes}x)")
+        if report.meta:
+            out.append(
+                "— flags: `"
+                + json.dumps(report.meta, sort_keys=True)
+                + "`"
+            )
+        out.append("")
+    cells = report.ordered_cells()
+
+    if cells:
+        out += [
+            "## Cells",
+            "",
+            "Fault-gap percentiles are steps between faults — the modeled",
+            "latency distribution of the search (higher is better).",
+            "",
+            "| # | cell | status | attempt | runs | events | faults "
+            "| gap p50 | gap p90 | gap p99 | complete |",
+            "|---|---|---|---|---|---|---|---|---|---|---|",
+        ]
+        for c in cells:
+            complete = "—" if c.complete is None else ("yes" if c.complete else "no")
+            out.append(
+                f"| {c.index} | {c.name} | {c.status} | {c.attempt} "
+                f"| {c.runs} | {c.events} | {c.faults} "
+                f"| {_pct(c.gap_hist, 50)} | {_pct(c.gap_hist, 90)} "
+                f"| {_pct(c.gap_hist, 99)} | {complete} |"
+            )
+        out.append("")
+
+    retry_reasons: dict[str, int] = {}
+    retry_outcomes: dict[str, int] = {}
+    for c in cells:
+        for reason, n in c.retry_reasons.items():
+            retry_reasons[reason] = retry_reasons.get(reason, 0) + n
+        for outcome, n in c.retry_outcomes.items():
+            retry_outcomes[outcome] = retry_outcomes.get(outcome, 0) + n
+    if retry_reasons or retry_outcomes:
+        out += [
+            "## Retries and faults",
+            "",
+            "Two distinct accountings: *supervision retries* are process-",
+            "level failures the campaign parent recovered from; *engine",
+            "read outcomes* are simulated disk faults inside the runs.",
+            "",
+        ]
+        if retry_reasons:
+            out += ["| supervision retry reason | cells × count |", "|---|---|"]
+            out += [
+                f"| {reason} | {n} |"
+                for reason, n in sorted(retry_reasons.items())
+            ]
+            out.append("")
+        if retry_outcomes:
+            out += ["| engine read outcome | count |", "|---|---|"]
+            out += [
+                f"| {outcome} | {n} |"
+                for outcome, n in sorted(retry_outcomes.items())
+            ]
+            out.append("")
+
+    heat = block_heat(report)
+    if heat:
+        out += [
+            "## Block heat (fault-serviced reads per block)",
+            "",
+            f"Top {min(top_blocks, len(heat))} of {len(heat)} blocks; "
+            "full data in the HTML report's JSON island.",
+            "",
+            "| block | cell | reads |",
+            "|---|---|---|",
+        ]
+        for cell_name, block, reads in heat[:top_blocks]:
+            out.append(f"| `{block}` | {cell_name} | {reads} |")
+        out.append("")
+
+    if report.metrics:
+        out += ["## Merged metrics", "", "| metric | value |", "|---|---|"]
+        for name, value in sorted(report.metrics.items()):
+            out.append(f"| {name} | {_metric_cell(value)} |")
+        out.append("")
+
+    if report.footer is not None:
+        out += [
+            "## Trace completeness",
+            "",
+            f"Merged trace declares {report.footer.events_emitted} events, "
+            f"{report.footer.events_dropped} dropped by bounded sinks."
+            + (
+                ""
+                if report.footer.events_dropped == 0
+                else " **Drops mean the flight recorder wrapped: re-run "
+                "with a larger ring or a JSONL sink for full fidelity.**"
+            ),
+            "",
+        ]
+    return "\n".join(out)
+
+
+def _metric_cell(value: Any) -> str:
+    """One metrics-snapshot value rendered for a table cell."""
+    if isinstance(value, Mapping):
+        if "count" in value and "values" in value:  # histogram snapshot
+            hist = _hist_from_snapshot(value)
+            pcts = ", ".join(
+                f"p{q:g}={_pct(hist, q)}" for q in (50.0, 90.0, 99.0)
+            )
+            return (
+                f"n={value.get('count')}, mean={value.get('mean'):.3g}, {pcts}"
+                if value.get("mean") is not None
+                else f"n={value.get('count')}"
+            )
+        keys = len(value)
+        return f"{keys} labeled value(s)"
+    return str(value)
+
+
+def _hist_from_snapshot(snapshot: Mapping[str, Any]) -> Histogram:
+    """Rebuild an exact histogram from its ``snapshot()`` form (keys
+    were stringified on the way out)."""
+    hist = Histogram()
+    values = snapshot.get("values", {})
+    if isinstance(values, Mapping):
+        for key, occurrences in values.items():
+            try:
+                value = float(key)
+            except ValueError:
+                continue
+            hist.counts[value] = hist.counts.get(value, 0) + int(occurrences)
+            hist.count += int(occurrences)
+            hist.total += value * int(occurrences)
+            if hist.minimum is None or value < hist.minimum:
+                hist.minimum = value
+            if hist.maximum is None or value > hist.maximum:
+                hist.maximum = value
+    return hist
+
+
+def block_heat(report: CampaignReport) -> list[tuple[str, str, int]]:
+    """``(cell, block, reads)`` rows, hottest first — the heatmap data."""
+    rows = [
+        (c.name, block, reads)
+        for c in report.ordered_cells()
+        for block, reads in c.block_reads.items()
+    ]
+    return sorted(rows, key=lambda r: (-r[2], r[0], r[1]))
+
+
+def render_html(report: CampaignReport, top_blocks: int = 10) -> str:
+    """A self-contained HTML page: the markdown report plus the full
+    block-heat data as an embedded JSON island for plotting."""
+    markdown = render_markdown(report, top_blocks=top_blocks)
+    heat = [
+        {"cell": cell, "block": block, "reads": reads}
+        for cell, block, reads in block_heat(report)
+    ]
+    data = json.dumps(
+        {"campaign": report.campaign_id, "block_heat": heat}, sort_keys=True
+    )
+    escaped = (
+        markdown.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+    return "\n".join(
+        [
+            "<!DOCTYPE html>",
+            "<html><head><meta charset=\"utf-8\">",
+            "<title>Campaign ops report</title>",
+            "<style>body{font-family:monospace;max-width:72em;margin:2em auto;"
+            "white-space:pre-wrap}</style>",
+            "</head><body>",
+            escaped,
+            f'<script type="application/json" id="campaign-data">{data}</script>',
+            "</body></html>",
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI.
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description=(
+            "Render a merged campaign (manifest + trace + metrics) into a "
+            "markdown or HTML ops report."
+        ),
+    )
+    parser.add_argument(
+        "manifest",
+        nargs="?",
+        default=None,
+        metavar="MANIFEST.jsonl",
+        help="the campaign manifest journal (--campaign PATH)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE.jsonl",
+        help="the merged engine trace (--trace-out PATH)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="METRICS.json",
+        help="the merged metrics snapshot (--metrics-out PATH)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the report here (default: print markdown to stdout)",
+    )
+    parser.add_argument(
+        "--html",
+        action="store_true",
+        help="render HTML (with the full block-heat JSON island) "
+        "instead of markdown",
+    )
+    parser.add_argument(
+        "--top-blocks",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows in the block-heat table (default 10)",
+    )
+    args = parser.parse_args(argv)
+    if args.top_blocks < 1:
+        parser.error(f"--top-blocks must be >= 1, got {args.top_blocks}")
+    try:
+        report = load_report(
+            manifest=args.manifest, trace=args.trace, metrics=args.metrics
+        )
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        render_html(report, top_blocks=args.top_blocks)
+        if args.html
+        else render_markdown(report, top_blocks=args.top_blocks)
+    )
+    if args.out:
+        from repro.cache import atomic_write_text
+
+        atomic_write_text(args.out, rendered + "\n")
+        print(f"ops report written to {args.out}")
+    else:
+        print(rendered)
+    return 0
+
+
+__all__ = [
+    "CampaignReport",
+    "CellSummary",
+    "ReportError",
+    "block_heat",
+    "fold_manifest",
+    "fold_metrics",
+    "fold_trace",
+    "load_report",
+    "main",
+    "render_html",
+    "render_markdown",
+]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

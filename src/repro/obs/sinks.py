@@ -9,6 +9,11 @@ provided:
 * :class:`JsonlSink` — appends one JSON object per event to a file,
   the format ``repro.obs.replay`` consumes;
 * :class:`CompositeSink` — fans out to several sinks.
+
+Sinks account for their own lossiness: ``events_dropped`` counts the
+events a bounded sink discarded (only :class:`RingBufferSink` ever
+drops), and the telemetry plane surfaces that number in every trace's
+``trace_footer`` so a merged campaign trace states its completeness.
 """
 
 from __future__ import annotations
@@ -20,11 +25,15 @@ from pathlib import Path
 from typing import IO, Iterable
 
 from repro.obs.events import TraceEvent, event_from_dict
+from repro.obs.metrics import MetricsRegistry
 
 
 class TraceSink(abc.ABC):
     """Receives every event an :class:`~repro.obs.instrument.Instrumentation`
     emits, in order."""
+
+    #: Events this sink discarded (lossy sinks override per instance).
+    events_dropped: int = 0
 
     @abc.abstractmethod
     def emit(self, event: TraceEvent) -> None:
@@ -51,16 +60,31 @@ class NullSink(TraceSink):
 
 
 class RingBufferSink(TraceSink):
-    """Holds the most recent ``capacity`` events in memory."""
+    """Holds the most recent ``capacity`` events in memory.
 
-    def __init__(self, capacity: int = 4096) -> None:
+    When the ring wraps, the overwritten event is *dropped*:
+    ``events_dropped`` counts them, and (when a ``metrics`` registry is
+    attached) the ``obs_events_dropped`` counter tracks the same number
+    — so a flight recorder that lost its early history says so instead
+    of silently presenting a truncated past as complete.
+    """
+
+    def __init__(
+        self, capacity: int = 4096, metrics: MetricsRegistry | None = None
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
         self.events_seen = 0
+        self.events_dropped = 0
+        self.metrics = metrics
 
     def emit(self, event: TraceEvent) -> None:
+        if len(self._buffer) == self.capacity:
+            self.events_dropped += 1
+            if self.metrics is not None:
+                self.metrics.counter("obs_events_dropped").inc()
         self._buffer.append(event)
         self.events_seen += 1
 
@@ -70,6 +94,7 @@ class RingBufferSink(TraceSink):
         return list(self._buffer)
 
     def clear(self) -> None:
+        """Discard retained events (already-counted drops stand)."""
         self._buffer.clear()
 
 

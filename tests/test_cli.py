@@ -56,6 +56,41 @@ class TestCli:
         assert replay_code == 0
         assert "reconstruct exactly" in replay_buffer.getvalue()
 
+    @pytest.mark.slow
+    def test_chaos_campaign_ships_telemetry(self, tmp_path):
+        """The telemetry-plane acceptance path, end to end through the
+        CLI: a chaos-killed multi-process campaign still produces a
+        merged trace that replays exactly and a merged metrics
+        snapshot (--metrics-out)."""
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(
+                ["--quick", "--jobs", "2",
+                 "--campaign", str(tmp_path / "m.jsonl"),
+                 "--chaos-kill-every", "3", "--chaos-seed", "7",
+                 "--trace-out", str(trace_path),
+                 "--metrics-out", str(metrics_path)]
+            )
+        assert code == 0
+        assert trace_path.exists()
+        import json
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["runs"] > 10
+        assert metrics["faults"] > 0
+        assert metrics["campaign_worker_deaths"] >= 1
+        assert metrics["campaign_trace_cells"] > 0
+
+        from repro.obs.replay import main as replay_main
+
+        replay_buffer = io.StringIO()
+        with redirect_stdout(replay_buffer):
+            replay_code = replay_main([str(trace_path), "--check"])
+        assert replay_code == 0
+        assert "reconstruct exactly" in replay_buffer.getvalue()
+
     def test_help_mentions_quick(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])

@@ -168,6 +168,18 @@ class TestSinks:
     def test_null_sink_accepts_anything(self):
         NullSink().emit(StepEvent(run=0, vertex=(1,)))
 
+    def test_ring_buffer_accounts_for_drops(self):
+        """Wrapping the ring is lossy on purpose, but never silently:
+        the sink counts its drops and bumps ``obs_events_dropped``."""
+        metrics = MetricsRegistry()
+        sink = RingBufferSink(capacity=3, metrics=metrics)
+        for i in range(10):
+            sink.emit(StepEvent(run=0, vertex=(i,)))
+        assert sink.events_dropped == 7
+        assert metrics.snapshot()["obs_events_dropped"] == 7
+        # A ring that never wraps reports zero drops.
+        assert RingBufferSink(capacity=16).events_dropped == 0
+
 
 # -- metrics ------------------------------------------------------------
 
@@ -208,6 +220,65 @@ class TestMetrics:
         reg = MetricsRegistry()
         reg.gauge("g").set(2.5)
         assert json.loads(reg.to_json())["g"] == 2.5
+
+    def test_histogram_percentiles_nearest_rank(self):
+        hist = MetricsRegistry().histogram("gaps")
+        for v in range(1, 11):
+            hist.observe(v)
+        assert hist.percentile(0) == 1
+        assert hist.percentile(50) == 5
+        assert hist.percentile(90) == 9
+        assert hist.percentile(99) == 10
+        assert hist.percentile(100) == 10
+        assert hist.percentiles() == {"p50": 5, "p90": 9, "p99": 10}
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        assert MetricsRegistry().histogram("empty").percentile(50) is None
+
+    def _fill(self, reg, offset):
+        reg.counter("faults").inc(3 + offset)
+        reg.gauge("covered").set(float(offset))
+        reg.labeled_counter("reads").inc((1, (0,)), 2)
+        reg.labeled_counter("reads").inc("other", offset + 1)
+        reg.histogram("gaps").observe(offset)
+        reg.histogram("gaps").observe(7)
+
+    def test_registry_merge_matches_single_process(self):
+        """The mergeability contract: two per-worker registries folded
+        together are indistinguishable from one registry that saw
+        everything (gauge last-write-wins follows merge order)."""
+        single = MetricsRegistry()
+        self._fill(single, 1)
+        self._fill(single, 2)
+        a, b = MetricsRegistry(), MetricsRegistry()
+        self._fill(a, 1)
+        self._fill(b, 2)
+        merged = MetricsRegistry()
+        merged.merge(a)
+        merged.merge(b)
+        assert merged.to_json() == single.to_json()
+
+    def test_wire_round_trip_is_lossless(self):
+        """to_wire -> JSON -> merge_wire preserves instrument kinds and
+        key types exactly — tuple block ids and int histogram values
+        come back as tuples and ints, not strings."""
+        reg = MetricsRegistry()
+        self._fill(reg, 2)
+        rebuilt = MetricsRegistry.from_wire(
+            json.loads(json.dumps(reg.to_wire()))
+        )
+        assert rebuilt.to_json() == reg.to_json()
+        assert rebuilt.labeled_counter("reads").counts == {
+            (1, (0,)): 2,
+            "other": 3,
+        }
+        assert rebuilt.histogram("gaps").counts == {2: 1, 7: 1}
+
+    def test_wire_schema_mismatch_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            MetricsRegistry().merge_wire({"schema": 99, "metrics": {}})
 
 
 # -- the engine under instrumentation -----------------------------------
