@@ -20,11 +20,11 @@ Two drivers:
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.core.block import Block
 from repro.core.blocking import Blocking
-from repro.core.memory import Memory, make_memory
+from repro.core.memory import Memory, WeakMemory, make_memory
 from repro.core.model import ModelParams
 from repro.core.policies import BlockChoicePolicy
 from repro.core.stats import SearchTrace
@@ -162,6 +162,10 @@ class Searcher:
         self.policy = policy
         self.params = params
         self.eviction = eviction if eviction is not None else default_eviction(params)
+        # The policy's own class name, captured before any instrumented
+        # wrapping — run_start reports it so offline analytics (stack
+        # distances, Belady taxonomy) know the replacement discipline.
+        self.eviction_name = type(self.eviction).__name__
         self.validate_moves = validate_moves
         self.on_fault = on_fault
         self.reliability = reliability
@@ -201,7 +205,7 @@ class Searcher:
         instr = self._instr
         if instr is None:
             return self._drive_path(path, memory, trace)
-        instr.run_start("path", self.params, self._read_cost())
+        instr.run_start("path", self.params, self._read_cost(), self.eviction_name)
         error: str | None = None
         try:
             return self._drive_path(path, memory, trace, instr)
@@ -224,7 +228,9 @@ class Searcher:
         instr = self._instr
         if instr is None:
             return self._drive_adversary(adversary, num_steps, memory, trace, view)
-        instr.run_start("adversary", self.params, self._read_cost())
+        instr.run_start(
+            "adversary", self.params, self._read_cost(), self.eviction_name
+        )
         error: str | None = None
         try:
             return self._drive_adversary(
@@ -258,6 +264,7 @@ class Searcher:
         visit = memory.visit
         validate = self.validate_moves
         budgeted = self._step_budget is not None
+        holders = self._holder_query(memory, instr)
         for vertex in path:
             if previous is None:
                 if not self.graph.has_vertex(vertex):
@@ -270,7 +277,9 @@ class Searcher:
                 trace.steps += 1
                 steps_since_fault += 1
                 if instr is not None:
-                    instr.step(vertex)
+                    instr.step(
+                        vertex, holders(vertex) if holders is not None else None
+                    )
             if budgeted:
                 self._check_budget(trace)
             if not visit(vertex):
@@ -296,6 +305,7 @@ class Searcher:
         visit = memory.visit
         validate = self.validate_moves
         budgeted = self._step_budget is not None
+        holders = self._holder_query(memory, instr)
         for _ in range(num_steps):
             nxt = step(pathfront, view)
             if validate:
@@ -303,7 +313,7 @@ class Searcher:
             trace.steps += 1
             steps_since_fault += 1
             if instr is not None:
-                instr.step(nxt)
+                instr.step(nxt, holders(nxt) if holders is not None else None)
             if budgeted:
                 self._check_budget(trace)
             if not visit(nxt):
@@ -315,6 +325,22 @@ class Searcher:
     def _read_cost(self) -> float | None:
         """Per-attempt modeled read cost, None on a reliable disk."""
         return self._store.read_cost if self._store is not None else None
+
+    @staticmethod
+    def _holder_query(
+        memory: Memory, instr: "InstrumentationHook | None"
+    ) -> "Callable[[Vertex], tuple[BlockId, ...]] | None":
+        """Per-arrival holder-block query for step events, or ``None``.
+
+        Weak-model instrumented runs record which resident blocks hold
+        each arriving vertex (in load order — the order ``visit``
+        refreshes their recency), giving offline forensics the true
+        block-reference string. Strong-model and uninstrumented runs
+        record nothing; the uninstrumented hot path never pays the call.
+        """
+        if instr is None or not isinstance(memory, WeakMemory):
+            return None
+        return memory.covering_blocks
 
     # -- internals --------------------------------------------------------
 

@@ -35,6 +35,11 @@ Observability flags (see ``repro.obs``):
   runs stream it live; with ``--jobs`` or ``--campaign`` each worker
   spools a per-cell shard and the parent merges them into one
   deterministic trace (byte-identical across re-runs and job counts).
+* ``--forensics`` analyzes the recorded trace after the sweep
+  (``python -m repro.obs.forensics`` inline): per-run stack-distance
+  miss-ratio curves, a compulsory/capacity/policy fault taxonomy, the
+  per-block churn ledger, and the exact LRU self-check — a prediction
+  that misses the observed fault count fails the run.
 * ``--metrics`` prints the aggregated metrics registry as JSON;
   worker registries merge losslessly into the printed snapshot.
 * ``--metrics-out PATH`` writes that merged snapshot to a JSON file.
@@ -133,6 +138,15 @@ def main(argv: list[str] | None = None) -> int:
         "--metrics",
         action="store_true",
         help="aggregate engine metrics across the sweep and print them as JSON",
+    )
+    parser.add_argument(
+        "--forensics",
+        action="store_true",
+        help="after the sweep, run stack-distance forensics over the "
+        "recorded trace (requires --trace-out; works serially, with "
+        "--jobs, and on campaign merged traces): miss-ratio curves, "
+        "fault taxonomy, block ledger, and the exact LRU self-check "
+        "(any prediction mismatch fails the run)",
     )
     parser.add_argument(
         "--metrics-out",
@@ -263,6 +277,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.cells and args.profile:
             parser.error("--cells is not supported with --profile")
+    if args.forensics and not args.trace_out:
+        parser.error("--forensics needs the recorded trace; add --trace-out PATH")
     if args.no_cache and args.cache_dir:
         parser.error("--no-cache and --cache-dir are mutually exclusive")
     if args.no_cache or args.cache_dir:
@@ -406,6 +422,17 @@ def main(argv: list[str] | None = None) -> int:
         instr.close()
     if args.trace_out:
         print(f"event trace written to {args.trace_out}\n")
+    forensics_failures: list[str] = []
+    if args.forensics:
+        from repro.obs.forensics import analyze_trace, fold_forensics_metrics
+        from repro.obs.forensics import render_markdown as forensics_markdown
+        from repro.obs.forensics import self_check_failures
+
+        forensics_doc = analyze_trace(args.trace_out)
+        if instr is not None and instr.metrics is not None:
+            fold_forensics_metrics(instr.metrics, forensics_doc)
+        print(forensics_markdown(forensics_doc))
+        forensics_failures = self_check_failures(forensics_doc)
     if args.metrics:
         print("== Metrics ==\n")
         print(instr.metrics.to_json())
@@ -453,6 +480,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\n{len(bad)} bound(s) violated:")
         for description in bad:
             print(f"  - {description}")
+    if forensics_failures:
+        print(f"\n{len(forensics_failures)} forensics self-check mismatch(es):")
+        for description in forensics_failures:
+            print(f"  - {description}")
+    if bad or forensics_failures:
         return 1
     print(f"\nAll {len(games)} games and {len(checks)} checks hold.")
     return 0

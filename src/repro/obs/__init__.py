@@ -60,6 +60,17 @@ from repro.obs.instrument import (
     LegacyOnFaultAdapter,
     compose,
 )
+from repro.obs.forensics import (
+    FORENSICS_SCHEMA,
+    RunRecord,
+    StackResult,
+    analyze_trace,
+    block_ledger,
+    fold_forensics_metrics,
+    scan_trace,
+    stack_distances,
+    taxonomy,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -104,6 +115,7 @@ from repro.obs.spans import (
 
 __all__ = [
     "EVENT_TYPES",
+    "FORENSICS_SCHEMA",
     "BlockReadEvent",
     "CampaignEvent",
     "CampaignResumeEvent",
@@ -132,23 +144,28 @@ __all__ = [
     "RetryEvent",
     "RingBufferSink",
     "RunEndEvent",
+    "RunRecord",
     "RunStartEvent",
     "ShardMergedEvent",
     "ShardRecorder",
     "ShardRef",
+    "StackResult",
     "StepEvent",
     "SweepProgress",
     "TraceEvent",
     "TraceFooterEvent",
     "TraceSink",
     "WorkerDeathEvent",
+    "analyze_trace",
     "bench_rollup",
+    "block_ledger",
     "compose",
     "current_instrumentation",
     "diff_runs",
     "diff_traces",
     "event_from_dict",
     "fault_timeline",
+    "fold_forensics_metrics",
     "gap_histogram_ascii",
     "merge_shard_metrics",
     "merge_shards",
@@ -156,8 +173,11 @@ __all__ = [
     "read_shard",
     "replay_events",
     "replay_file",
+    "scan_trace",
     "shard_paths",
     "span_id",
+    "stack_distances",
+    "taxonomy",
     "use_instrumentation",
     "verify_run",
     "write_bench_json",

@@ -182,6 +182,40 @@ def append_run(
     return record
 
 
+def prune_history(history_path: str | Path, keep: int) -> int:
+    """Cap the journal at the trailing ``keep`` records *per bench*.
+
+    The committed history grows by one record per bench per CI run;
+    pruning keeps it bounded without losing the trailing window the
+    sentinel judges against. Kept records stay in journal order and the
+    file is rewritten crash-atomically (the shared spill idiom); returns
+    the number of records dropped.
+    """
+    if keep < 1:
+        raise BenchWatchError(f"prune window must be >= 1, got {keep}")
+    from repro.cache import atomic_write_text
+
+    records = load_history(history_path)
+    per_bench: dict[str, int] = {}
+    for record in records:
+        bench = str(record.get("bench"))
+        per_bench[bench] = per_bench.get(bench, 0) + 1
+    seen: dict[str, int] = {}
+    kept: list[dict[str, Any]] = []
+    for record in records:
+        bench = str(record.get("bench"))
+        seen[bench] = seen.get(bench, 0) + 1
+        if seen[bench] > per_bench[bench] - keep:
+            kept.append(record)
+    dropped = len(records) - len(kept)
+    if dropped:
+        atomic_write_text(
+            history_path,
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in kept),
+        )
+    return dropped
+
+
 def _trailing_means(
     history: Sequence[Mapping[str, Any]], bench: str, test: str, window: int
 ) -> list[float]:
@@ -382,9 +416,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="rewrite the benchwatch trend table in this markdown file "
         "(e.g. EXPERIMENTS.md)",
     )
+    parser.add_argument(
+        "--prune",
+        type=int,
+        default=None,
+        metavar="N",
+        help="after appending, cap the history at the trailing N records "
+        "per bench (atomic rewrite) so the committed journal stays bounded",
+    )
     args = parser.parse_args(argv)
     if args.window < 1:
         parser.error(f"--window must be >= 1, got {args.window}")
+    if args.prune is not None and args.prune < 1:
+        parser.error(f"--prune must be >= 1, got {args.prune}")
     if not 0.0 < args.tolerance or args.tolerance + NOISE_CAP >= 1.0:
         parser.error(
             f"--tolerance must be in (0, {1.0 - NOISE_CAP}) so a 2x "
@@ -416,6 +460,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{v.bench} :: {v.test}: {status}")
         if not args.no_append:
             append_run(args.history, payload, label=args.label)
+    if args.prune is not None:
+        dropped = prune_history(args.history, args.prune)
+        print(
+            f"history pruned to trailing {args.prune} records per bench "
+            f"({dropped} dropped)"
+        )
     if args.render:
         render_trends(args.render, history, all_verdicts)
         print(f"trend table rendered into {args.render}")
@@ -445,6 +495,7 @@ __all__ = [
     "load_history",
     "load_rollup",
     "main",
+    "prune_history",
     "render_trends",
     "trend_table",
 ]

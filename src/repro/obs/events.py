@@ -30,7 +30,7 @@ int/str/tuple identifiers every substrate in this repository uses.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, fields
+from dataclasses import MISSING, asdict, dataclass, fields
 from typing import Any, ClassVar, Mapping
 
 from repro.errors import ReproError
@@ -91,15 +91,27 @@ class RunStartEvent(TraceEvent):
     memory_size: int
     model: str  # "weak" | "strong"
     read_cost: float | None = None
+    eviction: str | None = None  # unwrapped eviction policy class name
 
 
 @dataclass(frozen=True)
 class StepEvent(TraceEvent):
-    """The pathfront crossed one edge, arriving at ``vertex``."""
+    """The pathfront crossed one edge, arriving at ``vertex``.
+
+    ``blocks`` lists the resident blocks holding ``vertex`` at arrival
+    (weak model; recorded in load order, the order ``visit`` refreshes
+    their recency). An empty tuple means the arrival is uncovered and
+    the fault/``block_read`` pair follows; ``None`` means holders were
+    not tracked (strong model, or a pre-forensics trace). Forensics
+    needs this because weak-model LRU refreshes *every* holder on every
+    step — the miss-only block-read sequence is not the true reference
+    string.
+    """
 
     kind: ClassVar[str] = "step"
 
     vertex: Any
+    blocks: tuple[Any, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -356,7 +368,9 @@ def event_from_dict(payload: Mapping[str, Any]) -> TraceEvent:
     """Rebuild an event from its wire form.
 
     Identifier fields (vertices, block ids) are retupled; raises
-    :class:`ReproError` on unknown kinds or missing fields.
+    :class:`ReproError` on unknown kinds or on missing fields that have
+    no default (absent defaulted fields fall back to their default, so
+    traces written before a field existed still parse).
     """
     kind = payload.get("event")
     cls = EVENT_TYPES.get(kind)
@@ -366,11 +380,13 @@ def event_from_dict(payload: Mapping[str, Any]) -> TraceEvent:
     for field_info in fields(cls):  # declaration order, not hash order
         name = field_info.name
         if name not in payload:
+            if field_info.default is not MISSING:
+                continue  # older wire form: take the dataclass default
             raise ReproError(f"{kind} event missing field {name!r}: {payload}")
         value = payload[name]
-        if name in ("vertex", "block_id", "failed_block", "block_ids"):
+        if name in ("vertex", "block_id", "failed_block", "block_ids", "blocks"):
             value = retuple(value)
-            if name == "block_ids" and value is not None:
+            if name in ("block_ids", "blocks") and value is not None:
                 value = tuple(value)
         kwargs[name] = value
     return cls(**kwargs)

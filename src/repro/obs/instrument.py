@@ -50,12 +50,23 @@ class InstrumentationHook:
     """
 
     def run_start(
-        self, driver: str, params: "ModelParams", read_cost: float | None = None
+        self,
+        driver: str,
+        params: "ModelParams",
+        read_cost: float | None = None,
+        eviction: str | None = None,
     ) -> None:
-        """A run began (before the start vertex is visited)."""
+        """A run began (before the start vertex is visited).
 
-    def step(self, vertex: Any) -> None:
-        """The pathfront crossed an edge onto ``vertex``."""
+        ``eviction`` names the unwrapped eviction policy class driving
+        the run, so offline analytics know which replacement discipline
+        produced the trace.
+        """
+
+    def step(self, vertex: Any, blocks: tuple[Any, ...] | None = None) -> None:
+        """The pathfront crossed an edge onto ``vertex``; ``blocks``
+        are the resident holder blocks at arrival (weak model), ``None``
+        when holders are untracked."""
 
     def fault(self, vertex: Any, gap: int, index: int) -> None:
         """The pathfront hit an uncovered vertex (fault ``index``,
@@ -113,7 +124,11 @@ class Instrumentation(InstrumentationHook):
     # -- hook implementations ---------------------------------------------
 
     def run_start(
-        self, driver: str, params: "ModelParams", read_cost: float | None = None
+        self,
+        driver: str,
+        params: "ModelParams",
+        read_cost: float | None = None,
+        eviction: str | None = None,
     ) -> None:
         self._run += 1
         self.sink.emit(
@@ -124,13 +139,14 @@ class Instrumentation(InstrumentationHook):
                 memory_size=params.memory_size,
                 model=params.paging_model.name.lower(),
                 read_cost=read_cost,
+                eviction=eviction,
             )
         )
         if self.metrics is not None:
             self.metrics.counter("runs").inc()
 
-    def step(self, vertex: Any) -> None:
-        self.sink.emit(StepEvent(run=self._run, vertex=vertex))
+    def step(self, vertex: Any, blocks: tuple[Any, ...] | None = None) -> None:
+        self.sink.emit(StepEvent(run=self._run, vertex=vertex, blocks=blocks))
         if self.metrics is not None:
             self.metrics.counter("steps").inc()
 
@@ -223,14 +239,18 @@ class CompositeHook(InstrumentationHook):
         self.hooks = list(hooks)
 
     def run_start(
-        self, driver: str, params: "ModelParams", read_cost: float | None = None
+        self,
+        driver: str,
+        params: "ModelParams",
+        read_cost: float | None = None,
+        eviction: str | None = None,
     ) -> None:
         for h in self.hooks:
-            h.run_start(driver, params, read_cost)
+            h.run_start(driver, params, read_cost, eviction)
 
-    def step(self, vertex: Any) -> None:
+    def step(self, vertex: Any, blocks: tuple[Any, ...] | None = None) -> None:
         for h in self.hooks:
-            h.step(vertex)
+            h.step(vertex, blocks)
 
     def fault(self, vertex: Any, gap: int, index: int) -> None:
         for h in self.hooks:

@@ -35,6 +35,8 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.errors import ReproError
+from repro.obs.forensics import analyze_trace
+from repro.obs.forensics import render_markdown as render_forensics_markdown
 from repro.obs.events import (
     BlockReadEvent,
     FaultEvent,
@@ -90,6 +92,7 @@ class CampaignReport:
     resumes: int = 0
     footer: TraceFooterEvent | None = None
     metrics: dict[str, Any] = field(default_factory=dict)
+    forensics: dict[str, Any] | None = None
 
     def cell(self, index: int, name: str = "?") -> CellSummary:
         summary = self.cells.get(index)
@@ -219,6 +222,7 @@ def load_report(
         fold_manifest(report, manifest)
     if trace is not None:
         fold_trace(report, trace)
+        report.forensics = analyze_trace(trace)
     if metrics is not None:
         fold_metrics(report, metrics)
     return report
@@ -317,6 +321,9 @@ def render_markdown(report: CampaignReport, top_blocks: int = 10) -> str:
             out.append(f"| `{block}` | {cell_name} | {reads} |")
         out.append("")
 
+    if report.forensics is not None and report.forensics["runs"]:
+        out.append(render_forensics_markdown(report.forensics, top_blocks))
+
     if report.metrics:
         out += ["## Merged metrics", "", "| metric | value |", "|---|---|"]
         for name, value in sorted(report.metrics.items()):
@@ -389,17 +396,67 @@ def block_heat(report: CampaignReport) -> list[tuple[str, str, int]]:
     return sorted(rows, key=lambda r: (-r[2], r[0], r[1]))
 
 
-def render_html(report: CampaignReport, top_blocks: int = 10) -> str:
-    """A self-contained HTML page: the markdown report plus the full
-    block-heat data as an embedded JSON island for plotting."""
-    markdown = render_markdown(report, top_blocks=top_blocks)
+def report_data(report: CampaignReport) -> dict[str, Any]:
+    """The machine-readable report: the same structure the HTML JSON
+    island embeds and ``--format json`` prints."""
+    cells: list[dict[str, Any]] = []
+    for c in report.ordered_cells():
+        cells.append(
+            {
+                "index": c.index,
+                "name": c.name,
+                "kind": c.kind,
+                "status": c.status,
+                "attempt": c.attempt,
+                "error": c.error,
+                "retry_reasons": dict(sorted(c.retry_reasons.items())),
+                "retry_outcomes": dict(sorted(c.retry_outcomes.items())),
+                "runs": c.runs,
+                "events": c.events,
+                "dropped": c.dropped,
+                "complete": c.complete,
+                "span": c.span,
+                "faults": c.faults,
+                "fault_gaps": c.gap_hist.percentiles(),
+            }
+        )
     heat = [
         {"cell": cell, "block": block, "reads": reads}
         for cell, block, reads in block_heat(report)
     ]
-    data = json.dumps(
-        {"campaign": report.campaign_id, "block_heat": heat}, sort_keys=True
+    footer = None
+    if report.footer is not None:
+        footer = {
+            "events_emitted": report.footer.events_emitted,
+            "events_dropped": report.footer.events_dropped,
+        }
+    return {
+        "campaign": report.campaign_id,
+        "meta": report.meta,
+        "resumes": report.resumes,
+        "cells": cells,
+        "block_heat": heat,
+        "metrics": report.metrics,
+        "footer": footer,
+        "forensics": report.forensics,
+    }
+
+
+def render_json(report: CampaignReport) -> str:
+    """The ``--format json`` report: :func:`report_data`, canonically
+    serialized (sorted keys, compact separators, trailing newline)."""
+    return (
+        json.dumps(report_data(report), sort_keys=True, separators=(",", ":"))
+        + "\n"
     )
+
+
+def render_html(report: CampaignReport, top_blocks: int = 10) -> str:
+    """A self-contained HTML page: the markdown report plus the full
+    report data (cells, block heat, metrics, forensics) as an embedded
+    JSON island for plotting."""
+    markdown = render_markdown(report, top_blocks=top_blocks)
+    data = json.dumps(report_data(report), sort_keys=True)
     escaped = (
         markdown.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
     )
@@ -459,8 +516,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--html",
         action="store_true",
-        help="render HTML (with the full block-heat JSON island) "
-        "instead of markdown",
+        help="shorthand for --format html",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("markdown", "html", "json"),
+        default=None,
+        help=(
+            "output form: markdown (default), html (markdown plus the "
+            "report-data JSON island), or json (the machine-readable "
+            "report-data structure itself)"
+        ),
     )
     parser.add_argument(
         "--top-blocks",
@@ -472,6 +538,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.top_blocks < 1:
         parser.error(f"--top-blocks must be >= 1, got {args.top_blocks}")
+    if args.format is not None and args.html and args.format != "html":
+        parser.error(f"--html conflicts with --format {args.format}")
+    form = args.format or ("html" if args.html else "markdown")
     try:
         report = load_report(
             manifest=args.manifest, trace=args.trace, metrics=args.metrics
@@ -479,11 +548,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReportError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    rendered = (
-        render_html(report, top_blocks=args.top_blocks)
-        if args.html
-        else render_markdown(report, top_blocks=args.top_blocks)
-    )
+    if form == "html":
+        rendered = render_html(report, top_blocks=args.top_blocks)
+    elif form == "json":
+        rendered = render_json(report).rstrip("\n")
+    else:
+        rendered = render_markdown(report, top_blocks=args.top_blocks)
     if args.out:
         from repro.cache import atomic_write_text
 
@@ -505,7 +575,9 @@ __all__ = [
     "load_report",
     "main",
     "render_html",
+    "render_json",
     "render_markdown",
+    "report_data",
 ]
 
 

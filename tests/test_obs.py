@@ -106,7 +106,12 @@ class TestEvents:
             run=0, driver="path", block_size=8, memory_size=16,
             model="weak", read_cost=1.0,
         ),
+        RunStartEvent(
+            run=0, driver="path", block_size=8, memory_size=16,
+            model="weak", read_cost=1.0, eviction="LruEviction",
+        ),
         StepEvent(run=0, vertex=(3,)),
+        StepEvent(run=0, vertex=(3,), blocks=((0, (0,)), (1, (0,)))),
         FaultEvent(run=0, vertex=(8,), gap=7, index=1),
         BlockReadEvent(
             run=0, block_id=(1, (0,)), vertex=(8,), size=8,
@@ -135,6 +140,24 @@ class TestEvents:
 
         with pytest.raises(ReproError):
             event_from_dict({"event": "nope"})
+
+    def test_pre_forensics_wire_forms_take_field_defaults(self):
+        """Traces recorded before holder tracking — no ``blocks`` on
+        steps, no ``eviction`` on run_start — still parse: an absent
+        field with a dataclass default falls back to it. Required
+        fields stay required."""
+        from repro.errors import ReproError
+
+        step = event_from_dict({"event": "step", "run": 0, "vertex": [3]})
+        assert step == StepEvent(run=0, vertex=(3,), blocks=None)
+        payload = RunStartEvent(
+            run=0, driver="path", block_size=8, memory_size=16, model="weak",
+        ).to_dict()
+        del payload["eviction"], payload["read_cost"]
+        start = event_from_dict(payload)
+        assert start.eviction is None and start.read_cost is None
+        with pytest.raises(ReproError, match="missing field"):
+            event_from_dict({"event": "step", "run": 0})  # no default
 
 
 # -- sinks --------------------------------------------------------------
@@ -234,6 +257,36 @@ class TestMetrics:
         with pytest.raises(ValueError):
             hist.percentile(101)
         assert MetricsRegistry().histogram("empty").percentile(50) is None
+
+    def test_histogram_percentile_edge_cases(self):
+        """Empty -> None everywhere; a single bucket answers every q
+        (q=0 and q=100 are the min/max order statistics)."""
+        empty = MetricsRegistry().histogram("empty")
+        assert empty.percentiles() == {"p50": None, "p90": None, "p99": None}
+        assert empty.percentile(0) is None and empty.percentile(100) is None
+        single = MetricsRegistry().histogram("one")
+        for _ in range(5):
+            single.observe(7)  # one bucket, several observations
+        assert [single.percentile(q) for q in (0, 50, 100)] == [7, 7, 7]
+        assert single.percentiles((0, 100)) == {"p0": 7, "p100": 7}
+
+    def test_merged_histogram_percentiles_match_single_process(self):
+        """Exact counting makes the merge lossless, so every percentile
+        of round-robin-sharded observations equals the single-process
+        answer — the property the campaign's metrics merge rides."""
+        from repro.obs import Histogram
+
+        values = [5, 1, 9, 1, 7, 3, 3, 8, 2, 6, 4]
+        whole = Histogram()
+        shards = [Histogram() for _ in range(3)]
+        for i, v in enumerate(values):
+            whole.observe(v)
+            shards[i % 3].observe(v)
+        merged = Histogram()
+        for shard in shards:
+            merged.merge(shard)
+        for q in (0, 25, 50, 75, 90, 99, 100):
+            assert merged.percentile(q) == whole.percentile(q), q
 
     def _fill(self, reg, offset):
         reg.counter("faults").inc(3 + offset)

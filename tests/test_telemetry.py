@@ -414,6 +414,44 @@ class TestBenchwatch:
         with pytest.raises(BenchWatchError, match="schema"):
             load_history(history)
 
+    def test_prune_keeps_the_trailing_window_per_bench(self, tmp_path):
+        from repro.obs.benchwatch import append_run, load_history, prune_history
+
+        history = tmp_path / "h.jsonl"
+        for i in range(5):
+            append_run(history, _rollup(0.1, bench="a"), label=f"a-{i}")
+        for i in range(2):
+            append_run(history, _rollup(0.2, bench="b"), label=f"b-{i}")
+        assert prune_history(history, keep=3) == 2
+        records = load_history(history)
+        # The cap is per bench: "a" lost its two oldest records, "b"
+        # (already under the window) kept both, journal order intact.
+        assert [r["label"] for r in records if r["bench"] == "a"] == [
+            "a-2", "a-3", "a-4",
+        ]
+        assert [r["label"] for r in records if r["bench"] == "b"] == [
+            "b-0", "b-1",
+        ]
+        assert prune_history(history, keep=3) == 0  # idempotent
+
+    def test_prune_rides_the_cli_after_the_append(self, tmp_path):
+        from repro.obs.benchwatch import load_history, main
+
+        history = tmp_path / "h.jsonl"
+        self._seed_history(history, means=(0.1,) * 5)
+        rollup_path = tmp_path / "BENCH_demo.json"
+        rollup_path.write_text(json.dumps(_rollup(0.1)))
+        assert (
+            main(
+                [str(rollup_path), "--history", str(history), "--prune", "4"]
+            )
+            == 0
+        )
+        # 5 seeds + this run's append, then capped at the trailing 4.
+        assert len(load_history(history)) == 4
+        with pytest.raises(SystemExit):
+            main([str(rollup_path), "--history", str(history), "--prune", "0"])
+
     def test_cli_rejects_unsafe_tolerance(self, tmp_path):
         from repro.obs.benchwatch import main
 
@@ -515,6 +553,47 @@ class TestOpsReport:
         island = html.split('id="campaign-data">')[1].split("</script>")[0]
         heat = json.loads(island)["block_heat"]
         assert heat == [{"block": "(1, (0,))", "cell": "grid1d", "reads": 1}]
+
+    def test_json_format_shares_structure_with_the_html_island(
+        self, tmp_path
+    ):
+        """``--format json`` prints exactly the structure the HTML JSON
+        island embeds, and the CLI round-trips it to disk."""
+        from repro.obs.report import load_report, main, render_html, render_json
+
+        manifest = self._manifest(tmp_path)
+        trace = self._trace(tmp_path)
+        report = load_report(manifest=manifest, trace=trace)
+        doc = json.loads(render_json(report))
+        island = (
+            render_html(report)
+            .split('id="campaign-data">')[1]
+            .split("</script>")[0]
+        )
+        assert json.loads(island) == doc
+        out = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    str(manifest), "--trace", str(trace),
+                    "--format", "json", "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(out.read_text()) == doc
+        with pytest.raises(SystemExit):  # --html is markdown-plus-island
+            main([str(manifest), "--html", "--format", "json"])
+
+    def test_report_embeds_forensics(self, tmp_path):
+        """A report loaded with a trace renders the forensics sections
+        in markdown and carries the document in the machine form."""
+        from repro.obs.report import load_report, render_markdown, report_data
+
+        report = load_report(trace=self._trace(tmp_path))
+        assert report.forensics is not None and report.forensics["runs"]
+        assert "## Fault forensics" in render_markdown(report)
+        assert report_data(report)["forensics"] == report.forensics
 
     def test_block_heat_orders_hottest_first(self, tmp_path):
         from repro.obs.report import CampaignReport, block_heat
