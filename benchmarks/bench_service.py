@@ -1,0 +1,70 @@
+"""Search-service throughput under a seeded closed-loop burst.
+
+Two numbers this benchmark pins down for ``BENCH_service.json``:
+
+* **burst wall-clock** — a deterministic lockstep closed-loop burst
+  (the CI smoke's workload) through the full service stack: bounded
+  queue, worker pool, shared block cache, metrics, drain;
+* **sharing payoff** — the same burst's modeled statistics, attached
+  as extra info: cache hit ratio, latency percentiles in work units,
+  and the disk reads saved versus running every client stream
+  serially with no shared cache (the paper-model baseline).
+"""
+
+from repro.experiments.loadgen import (
+    LoadSpec,
+    closed_loop,
+    isolated_block_reads,
+)
+from repro.obs import MetricsRegistry
+from repro.service import (
+    SearchService,
+    ServiceConfig,
+    StoreSpec,
+    TenantConfig,
+    build_store,
+)
+
+STORE = StoreSpec(family="path", block_size=16, memory_blocks=2, size=1024, seed=7)
+LOAD = LoadSpec(
+    clients=4,
+    requests_per_client=8,
+    num_steps=256,
+    tenants=("alpha", "beta"),
+    zipf_s=1.1,
+    zipf_ranks=64,
+    seed=0,
+)
+
+
+def test_closed_loop_burst(benchmark):
+    store = build_store(STORE)
+
+    def burst():
+        metrics = MetricsRegistry()
+        service = SearchService(
+            store,
+            [TenantConfig("alpha"), TenantConfig("beta")],
+            ServiceConfig(workers=2, queue_bound=32),
+            metrics=metrics,
+        )
+        try:
+            outcomes = closed_loop(service, LOAD)
+        finally:
+            stats = service.drain()
+        return outcomes, stats, metrics
+
+    outcomes, stats, metrics = benchmark.pedantic(
+        burst, rounds=3, iterations=1, warmup_rounds=0
+    )
+    expected = LOAD.clients * LOAD.requests_per_client
+    assert len(outcomes) == expected
+    isolated = isolated_block_reads(LOAD, store)
+    assert stats.disk_reads < isolated  # the tentpole's acceptance bound
+    latency = metrics.histogram("service_latency").percentiles((50.0, 90.0, 99.0))
+    benchmark.extra_info["requests"] = expected
+    benchmark.extra_info["hit_ratio"] = round(stats.hit_ratio, 4)
+    benchmark.extra_info["latency_work_units"] = latency
+    benchmark.extra_info["isolated_block_reads"] = isolated
+    benchmark.extra_info["shared_disk_reads"] = stats.disk_reads
+    benchmark.extra_info["reads_saved"] = isolated - stats.disk_reads

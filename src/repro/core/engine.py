@@ -285,6 +285,12 @@ class Searcher:
             if not visit(vertex):
                 self._fault(vertex, memory, trace, steps_since_fault, instr)
                 steps_since_fault = 0
+                # Re-check after servicing: the fault's read attempts
+                # (retry storms included) count against the budget, and
+                # on the walk's final arrival there is no next iteration
+                # to catch the overage.
+                if budgeted:
+                    self._check_budget(trace)
             previous = vertex
         return trace
 
@@ -319,6 +325,10 @@ class Searcher:
             if not visit(nxt):
                 self._fault(nxt, memory, trace, steps_since_fault, instr)
                 steps_since_fault = 0
+                # Same post-fault re-check as the path driver: the last
+                # move's retries must not slip past the watchdog.
+                if budgeted:
+                    self._check_budget(trace)
             pathfront = nxt
         return trace
 
@@ -358,6 +368,8 @@ class Searcher:
         if memory.visit(vertex):
             return steps_since_fault
         self._fault(vertex, memory, trace, steps_since_fault, self._instr)
+        if self._step_budget is not None:
+            self._check_budget(trace)
         return 0
 
     def _fault(

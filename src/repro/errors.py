@@ -80,6 +80,46 @@ class AdversaryError(ReproError):
     """An adversary produced an illegal move (not an edge of the graph)."""
 
 
+class ServiceError(ReproError):
+    """Base of search-service failures (:mod:`repro.service`)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """A request was shed because a queue bound was hit.
+
+    Raised synchronously from ``submit`` — the request was never
+    enqueued, so backpressure is a typed signal to the client, not a
+    block or a silent drop.
+
+    Attributes:
+        tenant: the tenant whose request was shed.
+        scope: ``"tenant"`` (the tenant's pending bound) or
+            ``"global"`` (the shared queue).
+    """
+
+    def __init__(self, message: str, *, tenant: str = "?", scope: str = "global") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.scope = scope
+
+
+class TenantBudgetError(ServiceError):
+    """A tenant's cache memory budget cannot admit a required block.
+
+    Raised when a single block is larger than the tenant's configured
+    budget — no eviction of the tenant's own holdings could ever make
+    it fit, so the request fails typed instead of thrashing.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "?") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+
+
+class ServiceClosedError(ServiceError):
+    """A request arrived after the service began draining."""
+
+
 class AnalysisError(ReproError):
     """An analysis routine was asked an ill-posed question.
 

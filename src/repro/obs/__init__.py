@@ -45,6 +45,8 @@ from repro.obs.events import (
     RetryEvent,
     RunEndEvent,
     RunStartEvent,
+    ServiceRequestEvent,
+    ServiceShedEvent,
     ShardMergedEvent,
     StepEvent,
     TraceEvent,
@@ -146,6 +148,8 @@ __all__ = [
     "RunEndEvent",
     "RunRecord",
     "RunStartEvent",
+    "ServiceRequestEvent",
+    "ServiceShedEvent",
     "ShardMergedEvent",
     "ShardRecorder",
     "ShardRef",

@@ -342,6 +342,50 @@ class TraceFooterEvent(CampaignEvent):
     events_dropped: int = 0
 
 
+@dataclass(frozen=True)
+class ServiceRequestEvent(CampaignEvent):
+    """The search service completed (or failed) one client request.
+
+    Service events are orchestration-level, like campaign events:
+    ``run`` is ``-1`` (a request is not an engine run; its engine runs,
+    if traced, carry their own ids) and replay skips them. ``latency``
+    is in the service's modeled work units (steps plus a configured
+    per-read cost), not wall-clock — traces stay machine-independent.
+    ``hits``/``misses`` count the request's shared-cache outcomes and
+    ``coalesced`` the misses that piggybacked on another request's
+    in-flight read instead of issuing their own.
+    """
+
+    kind: ClassVar[str] = "service_request"
+
+    tenant: str
+    request: str
+    workload: str
+    outcome: str  # "ok" | "error:<ExceptionType>"
+    steps: int
+    faults: int
+    hits: int
+    misses: int
+    coalesced: int
+    latency: float
+
+
+@dataclass(frozen=True)
+class ServiceShedEvent(CampaignEvent):
+    """The search service rejected a request with a typed error.
+
+    ``reason`` is ``"queue-full"`` (global bound), ``"tenant-queue-full"``
+    (per-tenant pending bound), ``"budget"`` (a block larger than the
+    tenant's cache budget), or ``"closed"`` (submitted while draining).
+    """
+
+    kind: ClassVar[str] = "service_shed"
+
+    tenant: str
+    request: str
+    reason: str
+
+
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.kind: cls
     for cls in (
@@ -360,6 +404,8 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         CampaignResumeEvent,
         ShardMergedEvent,
         TraceFooterEvent,
+        ServiceRequestEvent,
+        ServiceShedEvent,
     )
 }
 

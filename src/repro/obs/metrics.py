@@ -1,7 +1,10 @@
 """A small metrics registry: counters, gauges, histograms.
 
-Stdlib-only and synchronous — the engine is single-threaded modeled
-time, so there is nothing to lock. The registry is a flat namespace of
+Stdlib-only. Every instrument carries its own lock: the engine itself
+is single-threaded modeled time, but the search service
+(:mod:`repro.service`) updates one shared registry from a pool of
+worker threads, and concurrent increments must sum exactly — a lost
+``+=`` would silently undercount. The registry is a flat namespace of
 named instruments with a JSON-ready :meth:`MetricsRegistry.snapshot`,
 which is what ``python -m repro.experiments --metrics`` prints and the
 benchmarks fold into their ``BENCH_*.json`` rollups.
@@ -30,6 +33,9 @@ indistinguishable from one recorded in a single process.
 from __future__ import annotations
 
 import json
+import math
+import threading
+from fractions import Fraction
 from typing import Any, Hashable, Mapping, Sequence
 
 from repro.errors import ReproError
@@ -55,21 +61,26 @@ def _unwire_key(key: Any) -> Hashable:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counters only go up, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def merge(self, other: "Counter") -> None:
         """Fold another counter in (counts add)."""
-        self.value += other.value
+        with other._lock:
+            amount = other.value
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> int:
         return self.value
@@ -84,13 +95,15 @@ class Counter:
 class Gauge:
     """The most recently written value (None until first set)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float | None = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def merge(self, other: "Gauge") -> None:
         """Fold another gauge in: the merged write wins (unless unset).
@@ -99,8 +112,10 @@ class Gauge:
         merges shards in cell order, so the last cell's write survives,
         mirroring what a single-process sweep would have left behind.
         """
-        if other.value is not None:
-            self.value = other.value
+        with other._lock:
+            value = other.value
+        if value is not None:
+            self.set(value)
 
     def snapshot(self) -> float | None:
         return self.value
@@ -117,17 +132,21 @@ class Gauge:
 class LabeledCounter:
     """A family of counts keyed by label (e.g. per-block read counts)."""
 
-    __slots__ = ("counts",)
+    __slots__ = ("counts", "_lock")
 
     def __init__(self) -> None:
         self.counts: dict[Hashable, int] = {}
+        self._lock = threading.Lock()
 
     def inc(self, key: Hashable, amount: int = 1) -> None:
-        self.counts[key] = self.counts.get(key, 0) + amount
+        with self._lock:
+            self.counts[key] = self.counts.get(key, 0) + amount
 
     def merge(self, other: "LabeledCounter") -> None:
         """Fold another labeled counter in (per-key counts add)."""
-        for key, amount in other.counts.items():
+        with other._lock:
+            items = list(other.counts.items())
+        for key, amount in items:
             self.inc(key, amount)
 
     def top(self, n: int = 10) -> list[tuple[Hashable, int]]:
@@ -156,7 +175,7 @@ class LabeledCounter:
 class Histogram:
     """Exact distribution of observed values."""
 
-    __slots__ = ("counts", "count", "total", "minimum", "maximum")
+    __slots__ = ("counts", "count", "total", "minimum", "maximum", "_lock")
 
     def __init__(self) -> None:
         self.counts: dict[float, int] = {}
@@ -164,15 +183,17 @@ class Histogram:
         self.total = 0.0
         self.minimum: float | None = None
         self.maximum: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[value] = self.counts.get(value, 0) + 1
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.counts[value] = self.counts.get(value, 0) + 1
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float | None:
@@ -181,18 +202,23 @@ class Histogram:
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram in — exact counting makes this lossless
         (value counts add; min/max/sum/count recombine)."""
-        for value, occurrences in other.counts.items():
-            self.counts[value] = self.counts.get(value, 0) + occurrences
-        self.count += other.count
-        self.total += other.total
-        if other.minimum is not None and (
-            self.minimum is None or other.minimum < self.minimum
-        ):
-            self.minimum = other.minimum
-        if other.maximum is not None and (
-            self.maximum is None or other.maximum > self.maximum
-        ):
-            self.maximum = other.maximum
+        with other._lock:
+            counts = list(other.counts.items())
+            count, total = other.count, other.total
+            minimum, maximum = other.minimum, other.maximum
+        with self._lock:
+            for value, occurrences in counts:
+                self.counts[value] = self.counts.get(value, 0) + occurrences
+            self.count += count
+            self.total += total
+            if minimum is not None and (
+                self.minimum is None or minimum < self.minimum
+            ):
+                self.minimum = minimum
+            if maximum is not None and (
+                self.maximum is None or maximum > self.maximum
+            ):
+                self.maximum = maximum
 
     def percentile(self, q: float) -> float | None:
         """The exact ``q``-th percentile (nearest-rank on the value
@@ -206,7 +232,11 @@ class Histogram:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if self.count == 0:
             return None
-        rank = max(1, -(-int(q * self.count) // 100))  # ceil(q/100 * n)
+        # ceil(q/100 * n) in exact rational arithmetic. The obvious
+        # float route (`int(q * count)` then ceil-divide) truncates the
+        # product first, so a q*count that float-rounds a hair below an
+        # integer lands one rank too low.
+        rank = max(1, math.ceil(Fraction(q) * self.count / 100))
         seen = 0
         for value in sorted(self.counts):
             seen += self.counts[value]
@@ -240,14 +270,15 @@ class Histogram:
         }
 
     def merge_wire(self, payload: Mapping[str, Any]) -> None:
-        for value, occurrences in payload["counts"]:
-            self.counts[value] = self.counts.get(value, 0) + int(occurrences)
-            self.count += int(occurrences)
-            self.total += value * int(occurrences)
-            if self.minimum is None or value < self.minimum:
-                self.minimum = value
-            if self.maximum is None or value > self.maximum:
-                self.maximum = value
+        with self._lock:
+            for value, occurrences in payload["counts"]:
+                self.counts[value] = self.counts.get(value, 0) + int(occurrences)
+                self.count += int(occurrences)
+                self.total += value * int(occurrences)
+                if self.minimum is None or value < self.minimum:
+                    self.minimum = value
+                if self.maximum is None or value > self.maximum:
+                    self.maximum = value
 
 
 class MetricsRegistry:
@@ -259,18 +290,23 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, Any] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls: type[Any]) -> Any:
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = cls()
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, cls):
-            raise TypeError(
-                f"metric {name!r} is a {type(instrument).__name__}, "
-                f"not a {cls.__name__}"
-            )
-        return instrument
+        # Creation races (two threads first-touching the same name)
+        # must resolve to one shared instrument, or early increments
+        # land on an orphan and vanish from the snapshot.
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return instrument
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
@@ -291,15 +327,16 @@ class MetricsRegistry:
         (:class:`TypeError` otherwise, same contract as ``_get``);
         names only in ``other`` are created here.
         """
-        for name, instrument in sorted(other._instruments.items()):
+        with other._lock:
+            items = sorted(other._instruments.items())
+        for name, instrument in items:
             self._get(name, type(instrument)).merge(instrument)
 
     def snapshot(self) -> dict[str, Any]:
         """All instruments as plain JSON-ready values, sorted by name."""
-        return {
-            name: instrument.snapshot()
-            for name, instrument in sorted(self._instruments.items())
-        }
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {name: instrument.snapshot() for name, instrument in items}
 
     def to_wire(self) -> dict[str, Any]:
         """The lossless, kind-tagged form :meth:`merge_wire` consumes.
@@ -309,12 +346,11 @@ class MetricsRegistry:
         a registry shipped through JSON merges exactly — this is what
         campaign/pool workers write next to their result spill.
         """
+        with self._lock:
+            items = sorted(self._instruments.items())
         return {
             "schema": METRICS_WIRE_SCHEMA,
-            "metrics": {
-                name: instrument.to_wire()
-                for name, instrument in sorted(self._instruments.items())
-            },
+            "metrics": {name: instrument.to_wire() for name, instrument in items},
         }
 
     def merge_wire(self, payload: Mapping[str, Any]) -> None:

@@ -324,6 +324,31 @@ def render_markdown(report: CampaignReport, top_blocks: int = 10) -> str:
     if report.forensics is not None and report.forensics["runs"]:
         out.append(render_forensics_markdown(report.forensics, top_blocks))
 
+    service = service_summary(report.metrics)
+    if service is not None:
+        out += [
+            "## Service",
+            "",
+            "The search service's serving-stack view: many concurrent",
+            "requests over one shared block cache. The shared-cache *hit",
+            "ratio* (coalesced waits count as hits — they cost no disk",
+            "read) is the governing statistic here, not per-run fault",
+            "counts; latency is in modeled work units (steps + read cost).",
+            "",
+            "| statistic | value |",
+            "|---|---|",
+            f"| requests completed | {service['completed']} |",
+            f"| requests errored | {service['errored']} |",
+            f"| cache hits / misses / coalesced | {service['hits']} / "
+            f"{service['misses']} / {service['coalesced']} |",
+            f"| cache hit ratio | {service['hit_ratio']} |",
+            f"| latency p50 / p90 / p99 | {service['latency']['p50']} / "
+            f"{service['latency']['p90']} / {service['latency']['p99']} |",
+        ]
+        for reason, count in sorted(service["shed"].items()):
+            out.append(f"| shed ({reason}) | {count} |")
+        out.append("")
+
     if report.metrics:
         out += ["## Merged metrics", "", "| metric | value |", "|---|---|"]
         for name, value in sorted(report.metrics.items()):
@@ -386,6 +411,38 @@ def _hist_from_snapshot(snapshot: Mapping[str, Any]) -> Histogram:
     return hist
 
 
+def service_summary(metrics: Mapping[str, Any]) -> dict[str, Any] | None:
+    """The service section's data, from a merged metrics snapshot —
+    ``None`` when the snapshot carries no ``service_*`` instruments
+    (the report predates, or never ran, a service burst)."""
+    if not any(name.startswith("service_") for name in metrics):
+        return None
+
+    def _int(name: str) -> int:
+        value = metrics.get(name)
+        return int(value) if isinstance(value, (int, float)) else 0
+
+    latency: dict[str, Any] = {"p50": "—", "p90": "—", "p99": "—"}
+    snapshot = metrics.get("service_latency")
+    if isinstance(snapshot, Mapping) and "values" in snapshot:
+        hist = _hist_from_snapshot(snapshot)
+        latency = {f"p{q:g}": _pct(hist, q) for q in (50.0, 90.0, 99.0)}
+    hit_ratio = metrics.get("service_cache_hit_ratio")
+    shed = metrics.get("service_shed")
+    return {
+        "completed": _int("service_completed"),
+        "errored": _int("service_errors"),
+        "hits": _int("service_cache_hits"),
+        "misses": _int("service_cache_misses"),
+        "coalesced": _int("service_cache_coalesced"),
+        "hit_ratio": (
+            f"{hit_ratio:.4f}" if isinstance(hit_ratio, float) else "—"
+        ),
+        "latency": latency,
+        "shed": dict(shed) if isinstance(shed, Mapping) else {},
+    }
+
+
 def block_heat(report: CampaignReport) -> list[tuple[str, str, int]]:
     """``(cell, block, reads)`` rows, hottest first — the heatmap data."""
     rows = [
@@ -437,6 +494,7 @@ def report_data(report: CampaignReport) -> dict[str, Any]:
         "cells": cells,
         "block_heat": heat,
         "metrics": report.metrics,
+        "service": service_summary(report.metrics),
         "footer": footer,
         "forensics": report.forensics,
     }

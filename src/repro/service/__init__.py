@@ -1,0 +1,63 @@
+"""Blocking-as-a-service: a concurrent search server over one store.
+
+The ROADMAP's north star is the paper's blocked store serving heavy
+traffic. This package is that serving stack in miniature, stdlib-only:
+
+* :mod:`repro.service.stores` — named (graph, blocking, policy,
+  params) bundles built once and shared read-only;
+* :mod:`repro.service.cache` — the shared block cache: global LRU,
+  per-tenant admission/eviction budgets, single-flight fault
+  coalescing;
+* :mod:`repro.service.requests` — the served unit (a ``CellSpec``-style
+  frozen spec naming a workload registry entry) and its single
+  execution path;
+* :mod:`repro.service.server` — the thread pool, bounded queues with
+  typed backpressure, graceful drain, and ``repro.obs`` wiring
+  (latency/hit-ratio metrics, service trace events).
+
+Run a seeded load burst from the command line::
+
+    python -m repro.service --store path --clients 4 --requests 8
+"""
+
+from repro.service.cache import (
+    COALESCED,
+    HIT,
+    MISS,
+    CachedBlocking,
+    CacheStats,
+    SharedBlockCache,
+)
+from repro.service.requests import WORKLOADS, RequestSpec, run_request
+from repro.service.server import (
+    RequestOutcome,
+    SearchService,
+    ServiceConfig,
+    TenantConfig,
+)
+from repro.service.stores import (
+    STORE_FAMILIES,
+    ServiceStore,
+    StoreSpec,
+    build_store,
+)
+
+__all__ = [
+    "COALESCED",
+    "HIT",
+    "MISS",
+    "CachedBlocking",
+    "CacheStats",
+    "RequestOutcome",
+    "RequestSpec",
+    "STORE_FAMILIES",
+    "SearchService",
+    "ServiceConfig",
+    "ServiceStore",
+    "SharedBlockCache",
+    "StoreSpec",
+    "TenantConfig",
+    "WORKLOADS",
+    "build_store",
+    "run_request",
+]

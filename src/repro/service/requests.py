@@ -1,0 +1,95 @@
+"""Served requests: the ``CellSpec``/``run_cell`` unit, per client call.
+
+A :class:`RequestSpec` is the service's wire unit — primitive frozen
+data naming a *workload* registry entry (never a callable), exactly the
+shape PR 4 gave sweep cells. ``run_request`` is the single execution
+path every worker thread uses: build the workload's adversary (or
+path), wrap the store's blocking in a per-tenant
+:class:`~repro.service.cache.CachedBlocking`, and play the Section 2
+game with a fresh private memory. The request's engine run is the
+paper's model untouched; only the disk behind it is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.adversaries import GreedyUncoveredAdversary, RandomWalkAdversary
+from repro.core.engine import Searcher
+from repro.core.stats import SearchTrace
+from repro.errors import ServiceError
+from repro.service.cache import CachedBlocking, SharedBlockCache
+from repro.service.stores import ServiceStore
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One client search request, as primitive picklable data.
+
+    ``start_rank`` indexes the store's canonical vertex order (the load
+    generator draws it Zipfian — rank 0 is the hottest start);
+    ``workload`` names an entry in :data:`WORKLOADS`.
+    """
+
+    name: str
+    tenant: str
+    workload: str = "walk"
+    start_rank: int = 0
+    num_steps: int = 256
+    seed: int = 0
+
+
+def _walk(store: ServiceStore, spec: RequestSpec, searcher: Searcher) -> SearchTrace:
+    start = store.vertices[spec.start_rank % len(store.vertices)]
+    adversary = RandomWalkAdversary(store.graph, start, seed=spec.seed)
+    return searcher.run_adversary(adversary, spec.num_steps)
+
+
+def _greedy(store: ServiceStore, spec: RequestSpec, searcher: Searcher) -> SearchTrace:
+    start = store.vertices[spec.start_rank % len(store.vertices)]
+    adversary = GreedyUncoveredAdversary(store.graph, start)
+    return searcher.run_adversary(adversary, spec.num_steps)
+
+
+WORKLOADS: Mapping[
+    str, Callable[[ServiceStore, RequestSpec, Searcher], SearchTrace]
+] = {
+    "walk": _walk,
+    "greedy": _greedy,
+}
+
+
+def run_request(
+    store: ServiceStore,
+    spec: RequestSpec,
+    cache: SharedBlockCache | None = None,
+) -> tuple[SearchTrace, CachedBlocking | None]:
+    """Execute one request against the store.
+
+    With a ``cache``, block reads go through a per-request
+    :class:`CachedBlocking` (returned so the caller can read the
+    request's own hit/miss/coalesced tally); without one the request
+    runs isolated — every fault is a disk read, the N-serial-runs
+    baseline the acceptance test compares against.
+    """
+    workload = WORKLOADS.get(spec.workload)
+    if workload is None:
+        raise ServiceError(
+            f"unknown workload {spec.workload!r}; known: {sorted(WORKLOADS)}"
+        )
+    facade: CachedBlocking | None = None
+    blocking = store.blocking
+    if cache is not None:
+        facade = CachedBlocking(blocking, cache, spec.tenant)
+        blocking = facade
+    searcher = Searcher(
+        store.graph,
+        blocking,
+        store.policy_factory(),
+        store.params,
+        validate_moves=False,
+        instrumentation=None,
+    )
+    trace = workload(store, spec, searcher)
+    return trace, facade

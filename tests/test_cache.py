@@ -82,6 +82,71 @@ class TestConstructionCache:
             fh.write(b"not a pickle")
         assert cache.get_or_build("k", (7,), lambda: "rebuilt") == "rebuilt"
 
+    def test_concurrent_get_or_build_one_valid_entry(self):
+        """The service's store memo leans on this: racing first-touches
+        of one key may build more than once (documented), but every
+        caller gets an equal value and exactly one entry survives."""
+        import threading
+
+        cache = ConstructionCache(maxsize=8)
+        barrier = threading.Barrier(8)
+        results, errors = [], []
+        lock = threading.Lock()
+
+        def work():
+            try:
+                barrier.wait()
+                value = cache.get_or_build(
+                    "k", ("hot",), lambda: {"payload": list(range(16))}
+                )
+                with lock:
+                    results.append(value)
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 8
+        assert all(value == {"payload": list(range(16))} for value in results)
+        assert len(cache) == 1
+        assert cache.stats.hits + cache.stats.misses == 8
+
+    def test_concurrent_distinct_keys_no_lost_updates(self):
+        """Parallel builds of distinct keys never clobber each other:
+        every key answers with its own value afterwards."""
+        import threading
+
+        cache = ConstructionCache(maxsize=256)
+        errors = []
+
+        def work(worker):
+            try:
+                for i in range(20):
+                    key = (worker, i)
+                    value = cache.get_or_build("k", key, lambda k=key: k * 2)
+                    assert value == key * 2
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(worker,)) for worker in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for worker in range(6):
+            for i in range(20):
+                key = (worker, i)
+                assert cache.get_or_build(
+                    "k", key, lambda: pytest.fail("should be cached")
+                ) == key * 2
+
 
 def _race_spill(args):
     """One racing writer: spill ``payload`` under the shared key."""

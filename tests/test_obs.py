@@ -334,6 +334,127 @@ class TestMetrics:
             MetricsRegistry().merge_wire({"schema": 99, "metrics": {}})
 
 
+class TestPercentileExactRank:
+    """The fractional-percentile fix: the rank is ``ceil(q/100 * n)``
+    in exact rational arithmetic. The old float route truncated
+    ``q * count`` before the ceiling, so a product that float-rounds a
+    hair *above* an integer (e.g. ``33.333...336 * 3 == 100.000...01``)
+    collapsed to rank 1 instead of 2."""
+
+    def test_fractional_q_regression(self):
+        from repro.obs import Histogram
+
+        hist = Histogram()
+        for value in (1, 2, 3):
+            hist.observe(value)
+        q = 100.0 / 3 + 1e-14  # floats to 33.333333333333336 > 1/3
+        assert q * 3 > 100.0  # the float product that fooled int()
+        assert hist.percentile(q) == 2
+
+    def test_matches_sorted_list_reference(self):
+        import math
+        from fractions import Fraction
+
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.obs import Histogram
+
+        @given(
+            st.lists(st.integers(-50, 50), min_size=1, max_size=60),
+            st.floats(
+                min_value=0.0,
+                max_value=100.0,
+                exclude_min=True,
+                allow_nan=False,
+            ),
+        )
+        @settings(max_examples=200, deadline=None)
+        def check(values, q):
+            hist = Histogram()
+            for value in values:
+                hist.observe(value)
+            ordered = sorted(values)
+            # Nearest-rank from first principles, in exact arithmetic.
+            rank = max(1, math.ceil(Fraction(q) * len(values) / 100))
+            assert hist.percentile(q) == ordered[rank - 1]
+
+        check()
+
+
+class TestMetricsThreadSafety:
+    """Instruments are shared by the service's worker pool: concurrent
+    updates must sum exactly (no lost increments, no torn histograms)
+    and a first-touch creation race must resolve to one instrument."""
+
+    THREADS = 8
+    ROUNDS = 400
+
+    def hammer(self, work):
+        import threading
+
+        errors = []
+
+        def run(worker):
+            try:
+                work(worker)
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(worker,))
+            for worker in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_concurrent_counter_and_histogram_sum_exactly(self):
+        reg = MetricsRegistry()
+
+        def work(worker):
+            for i in range(self.ROUNDS):
+                # Re-fetch by name every round: the lookup path is part
+                # of what must be safe.
+                reg.counter("hits").inc()
+                reg.labeled_counter("by_tenant").inc(f"t{worker % 2}")
+                reg.histogram("latency").observe(float(i % 5))
+
+        self.hammer(work)
+        total = self.THREADS * self.ROUNDS
+        assert reg.counter("hits").value == total
+        assert sum(reg.labeled_counter("by_tenant").counts.values()) == total
+        hist = reg.histogram("latency")
+        assert hist.count == total
+        assert sum(hist.counts.values()) == total
+        assert hist.total == pytest.approx(
+            self.THREADS * sum(float(i % 5) for i in range(self.ROUNDS))
+        )
+
+    def test_creation_race_yields_one_instrument(self):
+        import threading
+
+        reg = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS)
+        seen = []
+        lock = threading.Lock()
+
+        def work(worker):
+            barrier.wait()
+            counter = reg.counter("first_touch")
+            counter.inc()
+            with lock:
+                seen.append(counter)
+
+        self.hammer(work)
+        # Every thread got the same object, so no increment landed on
+        # an orphan instrument invisible to the snapshot.
+        assert all(counter is seen[0] for counter in seen)
+        assert reg.snapshot()["first_touch"] == self.THREADS
+
+
 # -- the engine under instrumentation -----------------------------------
 
 

@@ -360,6 +360,60 @@ class TestEngineIntegration:
         assert exc_info.value.trace is not None
         assert isinstance(exc_info.value, ReproError)
 
+    def test_budget_counts_the_final_steps_fault(self):
+        """Regression: the watchdog used to check only *before* each
+        visit, so when the last arrival of a run faulted — and its read
+        attempts (retry storms included) pushed total work past the
+        budget — there was no next iteration to notice, and the run
+        finished as if it were within budget."""
+        # Ends exactly on a block boundary, so the final arrival faults.
+        path = walk(2 * B + 1)
+        free = Searcher(LINE, contiguous_1d_blocking(B), FirstBlockPolicy(), PARAMS)
+        trace = free.run_path(path)
+        total = trace.steps + trace.read_attempts
+        assert trace.faults == 3  # blocks 0, 1, 2 — the last on arrival 2B
+
+        def budgeted(budget):
+            return Searcher(
+                LINE, contiguous_1d_blocking(B), FirstBlockPolicy(), PARAMS,
+                reliability=ReliabilityConfig(step_budget=budget),
+            )
+
+        # One work unit short: only the final fault's read crosses the
+        # line, and only the post-fault re-check can see it.
+        with pytest.raises(BudgetExceededError) as exc_info:
+            budgeted(total - 1).run_path(path)
+        assert exc_info.value.trace.steps == len(path) - 1
+        # An exactly-sufficient budget still completes.
+        result = budgeted(total).run_path(path)
+        assert result.steps == len(path) - 1
+
+    def test_budget_counts_the_final_adversary_fault(self):
+        """The same regression through the adversary driver."""
+        from repro.core.engine import Adversary
+
+        class MarchRight(Adversary):
+            def start(self, view):
+                return (0,)
+
+            def step(self, pathfront, view):
+                return (pathfront[0] + 1,)
+
+        steps = 2 * B  # lands on vertex 2B, a block boundary -> fault
+        free = Searcher(LINE, contiguous_1d_blocking(B), FirstBlockPolicy(), PARAMS)
+        trace = free.run_adversary(MarchRight(), steps)
+        total = trace.steps + trace.read_attempts
+        with pytest.raises(BudgetExceededError):
+            Searcher(
+                LINE, contiguous_1d_blocking(B), FirstBlockPolicy(), PARAMS,
+                reliability=ReliabilityConfig(step_budget=total - 1),
+            ).run_adversary(MarchRight(), steps)
+        result = Searcher(
+            LINE, contiguous_1d_blocking(B), FirstBlockPolicy(), PARAMS,
+            reliability=ReliabilityConfig(step_budget=total),
+        ).run_adversary(MarchRight(), steps)
+        assert result.steps == steps
+
 
 # -- harness hardening --------------------------------------------------
 
