@@ -112,10 +112,12 @@ class ConstructionCache:
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, full_key: tuple[str, Hashable]) -> bool:
-        return full_key in self._entries
+        with self._lock:
+            return full_key in self._entries
 
     def get_or_build(
         self, kind: str, key: Hashable, builder: Callable[[], Any]

@@ -19,6 +19,10 @@ Architecture (one file each, ~flake8-plugin shaped but self-contained):
   AST nodes to every registered rule interested in that node type.
 * :mod:`repro.lint.rulepack` — RL001..RL007, this repository's real
   invariants.
+* :mod:`repro.lint.concurrency` — RL008..RL011, the lock-discipline
+  rules (guard-map inference, lock-order cycles, unguarded thread
+  captures, blocking calls under a lock); the static half of the
+  concurrency gate whose dynamic half is :mod:`repro.obs.locksan`.
 * :mod:`repro.lint.baseline` — the ``lint_baseline.json`` burn-down
   mechanism: pre-existing findings are hidden, new ones fail.
 * :mod:`repro.lint.config`   — ``[tool.repro-lint]`` in pyproject.toml.
@@ -36,11 +40,18 @@ from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfig, load_config
 from repro.lint.engine import LintEngine, LintReport
 from repro.lint.findings import Finding, Severity
-from repro.lint.rules import FileContext, Rule, all_rules, get_rule
+from repro.lint.rules import (
+    FileContext,
+    ProjectContext,
+    Rule,
+    all_rules,
+    get_rule,
+)
 
 __all__ = [
     "Baseline",
     "FileContext",
+    "ProjectContext",
     "Finding",
     "LintConfig",
     "LintEngine",

@@ -52,6 +52,9 @@ class LintConfig:
         "src/repro/blockings",
         "src/repro/adversaries",
     )
+    # RL011: caller-supplied callables assumed to block (disk reads the
+    # single-flight cache hands out, injected load functions).
+    blocking_call_names: tuple[str, ...] = ("loader", "load_fn", "builder")
 
     def is_under(self, relpath: str, prefixes: tuple[str, ...]) -> bool:
         """Whether ``relpath`` sits under any of the given prefixes."""
@@ -76,6 +79,7 @@ _TUPLE_FIELDS = {
     "event_bases",
     "event_paths",
     "typed_api_paths",
+    "blocking_call_names",
 }
 _STR_FIELDS = {"baseline_path"}
 

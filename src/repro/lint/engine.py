@@ -22,7 +22,13 @@ from typing import Iterable, Sequence
 from repro.errors import ReproError
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding
-from repro.lint.rules import FileContext, Rule, all_rules, select_rules
+from repro.lint.rules import (
+    FileContext,
+    ProjectContext,
+    Rule,
+    all_rules,
+    select_rules,
+)
 
 _IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
 _SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file")
@@ -126,28 +132,75 @@ class LintEngine:
     def run(self, paths: Sequence[str | Path] | None = None) -> LintReport:
         """Lint the configured tree (or an explicit path list)."""
         report = LintReport()
+        project = ProjectContext(config=self.config)
+        suppressions: dict[str, dict[int, frozenset[str] | None]] = {}
         for path in self.target_files(paths):
-            self._lint_file(path, report)
+            self._lint_file(path, report, project, suppressions)
+        self._finalize(report, project, suppressions)
         report.findings.sort()
         return report
 
     def lint_source(self, relpath: str, source: str) -> list[Finding]:
         """Lint one in-memory source blob (the test fixtures' entry
         point); applies the same scoping and suppression as a file."""
-        report = LintReport()
-        self._lint_blob(relpath, source, report)
-        report.findings.sort()
-        return report.findings
+        return self.lint_sources({relpath: source})[relpath]
 
-    def _lint_file(self, path: Path, report: LintReport) -> None:
+    def lint_sources(
+        self, sources: dict[str, str]
+    ) -> dict[str, list[Finding]]:
+        """Lint several in-memory blobs as one mini-project, sharing a
+        :class:`ProjectContext` so cross-file rules (RL009) see all of
+        them. Returns findings keyed by relpath."""
+        report = LintReport()
+        project = ProjectContext(config=self.config)
+        suppressions: dict[str, dict[int, frozenset[str] | None]] = {}
+        for relpath, source in sources.items():
+            self._lint_blob(relpath, source, report, project, suppressions)
+        self._finalize(report, project, suppressions)
+        report.findings.sort()
+        grouped: dict[str, list[Finding]] = {relpath: [] for relpath in sources}
+        for finding in report.findings:
+            grouped.setdefault(finding.path, []).append(finding)
+        return grouped
+
+    def _finalize(
+        self,
+        report: LintReport,
+        project: ProjectContext,
+        suppressions: dict[str, dict[int, frozenset[str] | None]],
+    ) -> None:
+        """Run every rule's project-level pass, honouring the inline
+        suppressions recorded while the files were walked."""
+        for rule in self.rules:
+            for finding in rule.finalize(project):
+                table = suppressions.get(finding.path, {})
+                if self._is_suppressed(finding, table):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+
+    def _lint_file(
+        self,
+        path: Path,
+        report: LintReport,
+        project: ProjectContext,
+        suppressions: dict[str, dict[int, frozenset[str] | None]],
+    ) -> None:
         try:
             source = path.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError) as exc:
             report.parse_errors.append(f"{path}: {exc}")
             return
-        self._lint_blob(self._relpath(path), source, report)
+        self._lint_blob(self._relpath(path), source, report, project, suppressions)
 
-    def _lint_blob(self, relpath: str, source: str, report: LintReport) -> None:
+    def _lint_blob(
+        self,
+        relpath: str,
+        source: str,
+        report: LintReport,
+        project: ProjectContext,
+        suppressions: dict[str, dict[int, frozenset[str] | None]],
+    ) -> None:
         try:
             tree = ast.parse(source)
         except SyntaxError as exc:
@@ -168,8 +221,9 @@ class LintEngine:
         for rule in active:
             for node_type in rule.interests:
                 dispatch.setdefault(node_type, []).append(rule)
-        ctx = FileContext.build(relpath, source, tree, self.config)
+        ctx = FileContext.build(relpath, source, tree, self.config, project)
         suppressed = _suppressions(lines)
+        suppressions[relpath] = suppressed
         for node in ast.walk(tree):
             for rule in dispatch.get(type(node), ()):
                 for finding in rule.check(node, ctx):

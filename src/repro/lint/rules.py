@@ -26,6 +26,21 @@ from repro.lint.findings import Finding, Severity
 
 
 @dataclass
+class ProjectContext:
+    """Cross-file state shared by one engine run.
+
+    Per-file analysis stays in :attr:`FileContext.scratch`; rules that
+    need whole-project views (RL009's lock-order graph spans modules)
+    accumulate summaries here during :meth:`Rule.check` and emit the
+    findings from :meth:`Rule.finalize` once every file has been
+    walked. Keyed by rule id so rules cannot trample each other.
+    """
+
+    config: LintConfig
+    scratch: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
 class FileContext:
     """Everything a rule may want to know about the file under lint."""
 
@@ -42,10 +57,17 @@ class FileContext:
     from_imports: dict[str, str] = field(default_factory=dict)
     # rule id -> arbitrary per-file cache.
     scratch: dict[str, Any] = field(default_factory=dict)
+    # The run-wide context (None only for isolated unit exercises).
+    project: "ProjectContext | None" = None
 
     @classmethod
     def build(
-        cls, relpath: str, source: str, tree: ast.Module, config: LintConfig
+        cls,
+        relpath: str,
+        source: str,
+        tree: ast.Module,
+        config: LintConfig,
+        project: "ProjectContext | None" = None,
     ) -> "FileContext":
         ctx = cls(
             relpath=relpath,
@@ -53,6 +75,7 @@ class FileContext:
             tree=tree,
             config=config,
             lines=source.splitlines(),
+            project=project,
         )
         for node in ast.walk(tree):
             for child in ast.iter_child_nodes(node):
@@ -150,6 +173,16 @@ class Rule(abc.ABC):
     def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings for one node the rule declared interest in."""
 
+    def finalize(self, project: ProjectContext) -> Iterator[Finding]:
+        """Yield cross-file findings once every file has been walked.
+
+        The default is no project-level analysis. Rules that override
+        this accumulate per-file summaries in ``project.scratch``
+        during :meth:`check` and close over them here (e.g. RL009's
+        whole-program lock-order cycle detection).
+        """
+        return iter(())
+
 
 _REGISTRY: dict[str, type[Rule]] = {}
 
@@ -166,6 +199,7 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
 
 def all_rules() -> list[Rule]:
     """Fresh instances of every registered rule, in id order."""
+    import repro.lint.concurrency  # noqa: F401  (registers RL008..RL011)
     import repro.lint.rulepack  # noqa: F401  (registers RL001..RL007)
 
     return [
@@ -175,6 +209,7 @@ def all_rules() -> list[Rule]:
 
 def get_rule(rule_id: str) -> Rule:
     """One rule by id (for tests and docs tooling)."""
+    import repro.lint.concurrency  # noqa: F401
     import repro.lint.rulepack  # noqa: F401
 
     try:

@@ -83,10 +83,12 @@ class Counter:
             self.value += amount
 
     def snapshot(self) -> int:
-        return self.value
+        with self._lock:
+            return self.value
 
     def to_wire(self) -> dict[str, Any]:
-        return {"kind": "counter", "value": self.value}
+        with self._lock:
+            return {"kind": "counter", "value": self.value}
 
     def merge_wire(self, payload: Mapping[str, Any]) -> None:
         self.inc(int(payload["value"]))
@@ -118,10 +120,12 @@ class Gauge:
             self.set(value)
 
     def snapshot(self) -> float | None:
-        return self.value
+        with self._lock:
+            return self.value
 
     def to_wire(self) -> dict[str, Any]:
-        return {"kind": "gauge", "value": self.value}
+        with self._lock:
+            return {"kind": "gauge", "value": self.value}
 
     def merge_wire(self, payload: Mapping[str, Any]) -> None:
         value = payload["value"]
@@ -151,19 +155,25 @@ class LabeledCounter:
 
     def top(self, n: int = 10) -> list[tuple[Hashable, int]]:
         """The ``n`` hottest keys, descending."""
-        return sorted(self.counts.items(), key=lambda kv: (-kv[1], str(kv[0])))[:n]
+        with self._lock:
+            items = list(self.counts.items())
+        return sorted(items, key=lambda kv: (-kv[1], str(kv[0])))[:n]
 
     def snapshot(self) -> dict[str, int]:
-        return {str(k): v for k, v in sorted(self.counts.items(), key=lambda kv: str(kv[0]))}
+        with self._lock:
+            items = list(self.counts.items())
+        return {str(k): v for k, v in sorted(items, key=lambda kv: str(kv[0]))}
 
     def to_wire(self) -> dict[str, Any]:
         # Pairs, not a dict: tuple keys (block ids) must survive the
         # round-trip as tuples, and JSON objects would stringify them.
+        with self._lock:
+            items = list(self.counts.items())
         return {
             "kind": "labeled_counter",
             "counts": [
                 [_wire_key(k), v]
-                for k, v in sorted(self.counts.items(), key=lambda kv: str(kv[0]))
+                for k, v in sorted(items, key=lambda kv: str(kv[0]))
             ],
         }
 
@@ -197,7 +207,8 @@ class Histogram:
 
     @property
     def mean(self) -> float | None:
-        return self.total / self.count if self.count else None
+        with self._lock:
+            return self.total / self.count if self.count else None
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram in — exact counting makes this lossless
@@ -230,19 +241,23 @@ class Histogram:
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if self.count == 0:
+        with self._lock:
+            counts = dict(self.counts)
+            count = self.count
+            maximum = self.maximum
+        if count == 0:
             return None
         # ceil(q/100 * n) in exact rational arithmetic. The obvious
         # float route (`int(q * count)` then ceil-divide) truncates the
         # product first, so a q*count that float-rounds a hair below an
         # integer lands one rank too low.
-        rank = max(1, math.ceil(Fraction(q) * self.count / 100))
+        rank = max(1, math.ceil(Fraction(q) * count / 100))
         seen = 0
-        for value in sorted(self.counts):
-            seen += self.counts[value]
+        for value in sorted(counts):
+            seen += counts[value]
             if seen >= rank:
                 return value
-        return self.maximum
+        return maximum
 
     def percentiles(
         self, qs: Sequence[float] = (50.0, 90.0, 99.0)
@@ -251,22 +266,34 @@ class Histogram:
         return {f"p{q:g}": self.percentile(q) for q in qs}
 
     def snapshot(self) -> dict[str, Any]:
+        # One coherent view under one lock acquisition: the mean is
+        # computed inline (the `mean` property re-takes the
+        # non-reentrant lock) and count/sum/min/max all come from the
+        # same instant — no torn multi-field snapshots.
+        with self._lock:
+            count = self.count
+            total = self.total
+            minimum = self.minimum
+            maximum = self.maximum
+            values = sorted(self.counts.items())
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum,
-            "max": self.maximum,
-            "mean": self.mean,
-            "values": {str(k): v for k, v in sorted(self.counts.items())},
+            "count": count,
+            "sum": total,
+            "min": minimum,
+            "max": maximum,
+            "mean": total / count if count else None,
+            "values": {str(k): v for k, v in values},
         }
 
     def to_wire(self) -> dict[str, Any]:
         # Value/count pairs keep int observations as ints through JSON,
         # so a merged snapshot's "values" keys print identically to a
         # single-process registry's.
+        with self._lock:
+            counts = sorted(self.counts.items())
         return {
             "kind": "histogram",
-            "counts": [[k, v] for k, v in sorted(self.counts.items())],
+            "counts": [[k, v] for k, v in counts],
         }
 
     def merge_wire(self, payload: Mapping[str, Any]) -> None:

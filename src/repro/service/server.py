@@ -169,21 +169,31 @@ class SearchService:
         tenant = self.tenants.get(spec.tenant)
         if tenant is None:
             raise ServiceError(f"unknown tenant {spec.tenant!r}")
-        if self._closed:
-            self._shed(spec, "closed")
+        # Admission is decided entirely under the state lock (so a
+        # drain cannot slip between the closed check and the pending
+        # bump), but shedding — metrics + sink emit, i.e. other locks
+        # and possible I/O — happens strictly after release.
+        shed_reason: str | None = None
+        with self._state_lock:
+            if self._closed:
+                shed_reason = "closed"
+            elif self._pending[spec.tenant] >= tenant.max_pending:
+                shed_reason = "tenant-queue-full"
+            else:
+                self._pending[spec.tenant] += 1
+        if shed_reason == "closed":
+            self._shed(spec, shed_reason)
             raise ServiceClosedError(
                 f"service is draining; request {spec.name!r} rejected"
             )
-        with self._state_lock:
-            if self._pending[spec.tenant] >= tenant.max_pending:
-                self._shed(spec, "tenant-queue-full")
-                raise ServiceOverloadError(
-                    f"tenant {spec.tenant!r} already has "
-                    f"{tenant.max_pending} requests pending",
-                    tenant=spec.tenant,
-                    scope="tenant",
-                )
-            self._pending[spec.tenant] += 1
+        if shed_reason is not None:
+            self._shed(spec, shed_reason)
+            raise ServiceOverloadError(
+                f"tenant {spec.tenant!r} already has "
+                f"{tenant.max_pending} requests pending",
+                tenant=spec.tenant,
+                scope="tenant",
+            )
         future: "Future[RequestOutcome]" = Future()
         try:
             self._queue.put_nowait((spec, future))
@@ -204,20 +214,27 @@ class SearchService:
         """Graceful shutdown: stop admitting, finish everything queued,
         stop the workers, and fold the cache's final counters into the
         metrics registry. Idempotent; returns the final cache stats."""
-        self._closed = True
-        if not self._drained:
+        # Check-and-set under the lock so exactly one caller posts the
+        # worker sentinels (two racing drains used to both enqueue N
+        # Nones, leaving stale sentinels in the queue); the blocking
+        # puts and joins run after release. Every caller joins, so a
+        # second drain also returns only once the pool has stopped.
+        with self._state_lock:
+            self._closed = True
+            first_drain = not self._drained
             self._drained = True
+        if first_drain:
             for _ in self._workers:
                 self._queue.put(None)
-            for worker in self._workers:
-                worker.join()
+        for worker in self._workers:
+            worker.join()
         stats = self.cache.stats()
         gauge = self.metrics.gauge
         gauge("service_cache_resident_blocks").set(stats.resident_blocks)
         gauge("service_cache_resident_copies").set(stats.resident_copies)
         gauge("service_cache_disk_reads").set(stats.disk_reads)
         counter = self.metrics.counter("service_cache_evictions")
-        counter.inc(stats.evictions - counter.value)
+        counter.inc(stats.evictions - counter.snapshot())
         hit_ratio = stats.hit_ratio
         if hit_ratio is not None:
             gauge("service_cache_hit_ratio").set(hit_ratio)
@@ -233,8 +250,10 @@ class SearchService:
             "store": self.store.spec.family,
             "requests_completed": self.metrics.counter(
                 "service_completed"
-            ).value,
-            "requests_errored": self.metrics.counter("service_errors").value,
+            ).snapshot(),
+            "requests_errored": self.metrics.counter(
+                "service_errors"
+            ).snapshot(),
             "shed": dict(sorted(shed.snapshot().items())),
             "cache": {
                 "accesses": stats.accesses,

@@ -1,0 +1,20 @@
+"""RL008 bad: attributes guarded on the write path, read bare."""
+
+import threading
+
+
+class StatCounter:
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value):
+        with self._lock:
+            self.count += 1
+            self.total += value
+
+    def snapshot(self):
+        # Torn read: count and total can come from different instants,
+        # and neither read is ordered against a concurrent observe().
+        return {"count": self.count, "mean": self.total / max(self.count, 1)}

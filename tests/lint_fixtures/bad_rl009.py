@@ -1,0 +1,36 @@
+"""RL009 bad: two classes acquire the same pair of locks in opposite
+orders — the canonical AB/BA deadlock, here spread across methods so
+only the cross-method lock-order graph sees it."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self, journal: "Journal"):
+        self._lock = threading.Lock()
+        self.journal = journal
+        self.balance = 0
+
+    def post(self, amount):
+        with self._lock:
+            self.balance += amount
+            self.journal.record(amount)  # Ledger._lock -> Journal._lock
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = []
+        self.ledger = None
+
+    def attach(self, ledger: Ledger):
+        self.ledger = ledger
+
+    def record(self, amount):
+        with self._lock:
+            self.entries.append(amount)
+
+    def replay(self):
+        with self._lock:
+            for amount in self.entries:
+                self.ledger.post(amount)  # Journal._lock -> Ledger._lock

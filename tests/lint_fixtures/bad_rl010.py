@@ -1,0 +1,32 @@
+"""RL010 bad: thread targets mutate shared state with no guard — a
+self attribute from a spawned method, and a captured list from a
+submitted closure."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Collector:
+    def __init__(self):
+        self.samples = []
+        self._lock = threading.Lock()
+
+    def start(self):
+        worker = threading.Thread(target=self._run)
+        worker.start()
+        return worker
+
+    def _run(self):
+        self.samples.append(1)  # races any other writer
+
+
+def fan_out(items):
+    results = []
+
+    def work(item):
+        results.append(item * 2)  # unguarded captured container
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        for item in items:
+            pool.submit(work, item)
+    return results

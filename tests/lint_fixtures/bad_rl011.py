@@ -1,0 +1,25 @@
+"""RL011 bad: blocking operations while holding a lock — an Event
+wait, a caller-supplied loader, and file I/O, each convoying every
+other user of the lock."""
+
+import threading
+from pathlib import Path
+
+
+class NaiveCache:
+    def __init__(self, loader):
+        self._lock = threading.Lock()
+        self.loader = loader
+        self.entries = {}
+        self.ready = threading.Event()
+
+    def fetch(self, key):
+        with self._lock:
+            if key not in self.entries:
+                self.ready.wait()  # blocks everyone behind the lock
+                self.entries[key] = self.loader(key)  # so does the load
+            return self.entries[key]
+
+    def persist(self, path):
+        with self._lock:
+            Path(path).write_text(str(self.entries))  # I/O under lock

@@ -1,0 +1,28 @@
+"""RL008 good: every access takes the guard; private helpers ride on
+the "caller holds the lock" idiom (their call sites hold it)."""
+
+import threading
+
+
+class StatCounter:
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value):
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self._note(value)
+
+    def _note(self, value):
+        # Caller holds the lock: accesses here are effectively guarded.
+        self.total += 0 * value
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "count": self.count,
+                "mean": self.total / max(self.count, 1),
+            }

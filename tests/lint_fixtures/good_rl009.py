@@ -1,0 +1,37 @@
+"""RL009 good: the same two classes, with one global order — the
+journal is always the leaf lock (nothing is called while it is held),
+so the acquisition graph is acyclic."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self, journal: "Journal"):
+        self._lock = threading.Lock()
+        self.journal = journal
+        self.balance = 0
+
+    def post(self, amount):
+        with self._lock:
+            self.balance += amount
+        self.journal.record(amount)  # journal lock taken *after* release
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = []
+        self.ledger = None
+
+    def attach(self, ledger: Ledger):
+        self.ledger = ledger
+
+    def record(self, amount):
+        with self._lock:
+            self.entries.append(amount)
+
+    def replay(self):
+        with self._lock:
+            pending = list(self.entries)
+        for amount in pending:  # ledger lock taken with journal released
+            self.ledger.post(amount)

@@ -1,0 +1,37 @@
+"""RL010 good: thread targets either hold a lock around shared
+mutations or shard the container by a per-thread parameter (each
+worker owns its slot, the loadgen idiom)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Collector:
+    def __init__(self):
+        self.samples = []
+        self._lock = threading.Lock()
+
+    def start(self):
+        worker = threading.Thread(target=self._run)
+        worker.start()
+        return worker
+
+    def _run(self):
+        with self._lock:
+            self.samples.append(1)
+
+
+def fan_out(items):
+    results = {item: [] for item in items}
+    errors = []
+    errors_lock = threading.Lock()
+
+    def work(item):
+        results[item].append(item * 2)  # sharded by the item parameter
+        with errors_lock:
+            errors.append(None)
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        for item in items:
+            pool.submit(work, item)
+    return results, errors

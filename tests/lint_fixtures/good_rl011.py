@@ -1,0 +1,47 @@
+"""RL011 good: the single-flight release-then-wait idiom (the
+``SharedBlockCache.fetch`` shape) — markers are installed under the
+lock, but waiting and loading happen with the lock released; the
+Condition waits on *itself*, which releases the lock by contract."""
+
+import threading
+from pathlib import Path
+
+
+class SingleFlightCache:
+    def __init__(self, loader):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self.loader = loader
+        self.entries = {}
+        self.inflight = {}
+
+    def fetch(self, key):
+        with self._lock:
+            if key in self.entries:
+                return self.entries[key]
+            marker = self.inflight.get(key)
+            if marker is None:
+                marker = threading.Event()
+                self.inflight[key] = marker
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            marker.wait()  # lock released: followers park harmlessly
+            with self._lock:
+                return self.entries[key]
+        value = self.loader(key)  # load runs outside the lock
+        with self._lock:
+            self.entries[key] = value
+            del self.inflight[key]
+        marker.set()
+        return value
+
+    def await_change(self):
+        with self._cond:
+            self._cond.wait()  # waiting on the held condition is fine
+
+    def persist(self, path):
+        with self._lock:
+            payload = str(self.entries)
+        Path(path).write_text(payload)  # I/O after release

@@ -1,0 +1,207 @@
+"""locksan: the deterministic runtime lock-order sanitizer.
+
+The acceptance criteria under test, straight from the issue:
+
+* a seeded two-thread lock-order inversion is detected and reported;
+* the report is byte-identical across two consecutive runs of the same
+  scenario (no wall-clock, no thread ids, no object ids);
+* blocking while holding an instrumented lock is a violation, while
+  the sanctioned idioms (Condition waiting on itself, the
+  single-flight release-then-wait shape) stay clean;
+* install/uninstall round-trips: the shim is confined to the named
+  modules and the default path is untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.block import Block
+from repro.obs import locksan
+from repro.obs.locksan import (
+    VIOLATION_BLOCKING_CALL,
+    VIOLATION_LOCK_ORDER,
+    LockSanitizer,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.service import SharedBlockCache
+
+
+def _shim(sanitizer: LockSanitizer) -> locksan._ThreadingShim:
+    return locksan._ThreadingShim(sanitizer)
+
+
+def _run_inversion() -> LockSanitizer:
+    """Two threads acquiring the same pair of locks in opposite orders
+    — sequenced (first thread joined before the second starts) so the
+    inversion is always *observed*, never an actual deadlock."""
+    sanitizer = LockSanitizer()
+    shim = _shim(sanitizer)
+    lock_a = shim.Lock()
+    lock_b = shim.Lock()
+
+    def a_then_b() -> None:
+        with lock_a:
+            with lock_b:
+                pass
+
+    def b_then_a() -> None:
+        with lock_b:
+            with lock_a:
+                pass
+
+    for target in (a_then_b, b_then_a):
+        worker = threading.Thread(target=target)
+        worker.start()
+        worker.join()
+    return sanitizer
+
+
+class TestInversionDetection:
+    def test_two_thread_inversion_is_reported(self):
+        sanitizer = _run_inversion()
+        violations = sanitizer.violations()
+        assert [v["kind"] for v in violations] == [VIOLATION_LOCK_ORDER]
+        (violation,) = violations
+        # Both locks, named by allocation site, appear in the report.
+        assert len(violation["locks"]) == 2
+        assert all("test_locksan.py:" in name for name in violation["locks"])
+        with pytest.raises(AssertionError):
+            locksan.assert_clean(sanitizer)
+
+    def test_report_is_byte_identical_across_runs(self):
+        first = _run_inversion().report_json()
+        second = _run_inversion().report_json()
+        assert first.encode() == second.encode()
+
+    def test_consistent_order_is_clean(self):
+        sanitizer = LockSanitizer()
+        shim = _shim(sanitizer)
+        outer, inner = shim.Lock(), shim.Lock()
+        for _ in range(3):
+            with outer:
+                with inner:
+                    pass
+        assert sanitizer.violations() == []
+        # The order edge itself is still in the graph.
+        assert len(sanitizer.report()["edges"]) == 1
+
+    def test_rlock_reentry_adds_no_edges(self):
+        sanitizer = LockSanitizer()
+        shim = _shim(sanitizer)
+        lock = shim.RLock()
+        with lock:
+            with lock:
+                pass
+        assert sanitizer.report()["edges"] == []
+        assert sanitizer.violations() == []
+
+
+class TestBlockingWhileLocked:
+    def test_event_wait_under_lock_is_flagged(self):
+        sanitizer = LockSanitizer()
+        shim = _shim(sanitizer)
+        lock = shim.Lock()
+        event = shim.Event()
+        event.set()
+        with lock:
+            event.wait()
+        kinds = [v["kind"] for v in sanitizer.violations()]
+        assert kinds == [VIOLATION_BLOCKING_CALL]
+
+    def test_event_wait_after_release_is_clean(self):
+        sanitizer = LockSanitizer()
+        shim = _shim(sanitizer)
+        lock = shim.Lock()
+        event = shim.Event()
+        event.set()
+        with lock:
+            pass
+        event.wait()
+        assert sanitizer.violations() == []
+
+    def test_condition_wait_on_itself_is_exempt(self):
+        sanitizer = LockSanitizer()
+        shim = _shim(sanitizer)
+        condition = shim.Condition()
+        with condition:
+            condition.wait(timeout=0.01)
+        assert sanitizer.violations() == []
+
+    def test_condition_wait_holding_another_lock_is_flagged(self):
+        sanitizer = LockSanitizer()
+        shim = _shim(sanitizer)
+        lock = shim.Lock()
+        condition = shim.Condition()
+        with lock:
+            with condition:
+                condition.wait(timeout=0.01)
+        kinds = {v["kind"] for v in sanitizer.violations()}
+        assert VIOLATION_BLOCKING_CALL in kinds
+
+
+class TestInstall:
+    def test_install_swaps_and_uninstall_restores(self):
+        import repro.service.cache as cache_module
+
+        original = cache_module.threading
+        sanitizer = locksan.install(["repro.service.cache"])
+        try:
+            assert cache_module.threading is not original
+            assert locksan.current() is sanitizer
+        finally:
+            locksan.uninstall()
+        assert cache_module.threading is original
+        assert locksan.current() is None
+
+    def test_double_install_raises(self):
+        locksan.install(["repro.service.cache"])
+        try:
+            with pytest.raises(RuntimeError):
+                locksan.install(["repro.service.cache"])
+        finally:
+            locksan.uninstall()
+
+    def test_single_flight_cache_is_clean_and_stable(self):
+        # The release-then-wait idiom under real instrumentation: a
+        # seeded burst against SharedBlockCache must produce an empty,
+        # byte-stable report (the CI concurrency gate's assertion).
+        reports = []
+        for _ in range(2):
+            sanitizer = locksan.install(["repro.service.cache"])
+            try:
+                cache = SharedBlockCache(capacity=8)
+                cache.register_tenant("alpha", 8)
+                def loader():
+                    return Block(0, frozenset({0}))
+
+                workers = [
+                    threading.Thread(
+                        target=lambda: cache.fetch(0, "alpha", loader)
+                    )
+                    for _ in range(4)
+                ]
+                for worker in workers:
+                    worker.start()
+                for worker in workers:
+                    worker.join()
+            finally:
+                locksan.uninstall()
+            assert sanitizer.violations() == []
+            reports.append(sanitizer.report_json())
+        assert reports[0].encode() == reports[1].encode()
+
+    def test_metrics_snapshots_under_instrumentation_are_clean(self):
+        sanitizer = locksan.install(["repro.obs.metrics"])
+        try:
+            registry = MetricsRegistry()
+            registry.counter("c").inc(3)
+            registry.histogram("h").observe(1.0)
+            registry.labeled_counter("l").inc("k")
+            registry.snapshot()
+            registry.to_wire()
+        finally:
+            locksan.uninstall()
+        assert sanitizer.violations() == []

@@ -454,6 +454,54 @@ class TestMetricsThreadSafety:
         assert all(counter is seen[0] for counter in seen)
         assert reg.snapshot()["first_touch"] == self.THREADS
 
+    def test_snapshots_race_mutation_without_tearing(self):
+        # Regression (RL008): snapshot/to_wire/top/percentile used to
+        # read instrument state bare — a concurrent inc could tear a
+        # multi-field histogram view or blow up labeled-counter
+        # iteration with "dictionary changed size during iteration".
+        import threading
+
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def read_loop():
+            try:
+                while not stop.is_set():
+                    reg.snapshot()
+                    reg.to_wire()
+                    reg.labeled_counter("by_tenant").top(3)
+                    reg.histogram("latency").percentile(99.0)
+                    _ = reg.histogram("latency").mean
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+
+        def work(worker):
+            for i in range(self.ROUNDS):
+                reg.counter("hits").inc()
+                # Fresh keys every round keep the dict growing under
+                # the reader's iteration.
+                reg.labeled_counter("by_tenant").inc((worker, i))
+                reg.histogram("latency").observe(float(i % 7))
+
+        try:
+            self.hammer(work)
+        finally:
+            stop.set()
+            reader.join()
+        assert errors == []
+        total = self.THREADS * self.ROUNDS
+        snap = reg.snapshot()
+        assert snap["hits"] == total
+        assert snap["latency"]["count"] == total
+        # A coherent single-lock snapshot: mean * count == sum exactly.
+        assert snap["latency"]["mean"] * snap["latency"]["count"] == (
+            pytest.approx(snap["latency"]["sum"])
+        )
+
 
 # -- the engine under instrumentation -----------------------------------
 

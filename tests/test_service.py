@@ -292,6 +292,70 @@ class TestBackpressure:
         # drain is idempotent.
         service.drain()
 
+    def test_concurrent_drains_leave_no_stale_sentinels(self):
+        # Regression: two racing drains used to both observe
+        # `_drained == False` and each enqueue a full set of worker
+        # sentinels; the extra Nones sat in the queue forever. The
+        # check-and-set now happens under the state lock, so exactly
+        # one caller posts sentinels — and both callers join, so both
+        # return only after the pool has stopped.
+        store = build_store(SMALL_STORE)
+        service = SearchService(
+            store,
+            [TenantConfig("alpha")],
+            ServiceConfig(workers=2, queue_bound=8),
+        )
+        barrier = threading.Barrier(2)
+
+        def drain():
+            barrier.wait()
+            service.drain()
+
+        racers = [threading.Thread(target=drain) for _ in range(2)]
+        for racer in racers:
+            racer.start()
+        for racer in racers:
+            racer.join()
+        assert service._queue.qsize() == 0
+        for worker in service._workers:
+            assert not worker.is_alive()
+        with pytest.raises(ServiceClosedError):
+            service.submit(self.spec("late", "alpha"))
+
+    def test_shed_reports_outside_the_state_lock(self):
+        # Regression (RL011 discipline): the tenant-queue-full shed —
+        # metrics updates plus a sink emit, i.e. other locks and
+        # possible I/O — used to run while `_state_lock` was held.
+        from repro.obs.sinks import TraceSink
+
+        service_box = []
+        lock_states = []
+
+        class ProbeSink(TraceSink):
+            def emit(self, event):
+                lock_states.append(
+                    service_box[0]._state_lock.locked()
+                )
+
+        store = build_store(SMALL_STORE)
+        service = SearchService(
+            store,
+            [TenantConfig("alpha", max_pending=1)],
+            ServiceConfig(workers=1, queue_bound=1),
+            sink=ProbeSink(),
+        )
+        service_box.append(service)
+        # Force the tenant to its pending bound without needing a
+        # parked worker: the admission path only consults the count.
+        with service._state_lock:
+            service._pending["alpha"] = 1
+        with pytest.raises(ServiceOverloadError):
+            service.submit(self.spec("a1", "alpha"))
+        assert lock_states == [False]
+        with service._state_lock:
+            service._pending["alpha"] = 0
+        service.drain()
+
     def test_tenant_budget_error_arrives_through_the_future(self):
         store = build_store(SMALL_STORE)
         service = SearchService(
